@@ -1,0 +1,231 @@
+// Google-benchmark microbenchmarks of the library's kernels, plus ablations
+// of the design choices DESIGN.md §5 calls out (net splitting vs discarding,
+// matching strategies, dynamic-weight overhead).
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "core/rhb.hpp"
+#include "core/structural_factor.hpp"
+#include "direct/etree.hpp"
+#include "direct/lu.hpp"
+#include "direct/mindeg.hpp"
+#include "direct/multirhs.hpp"
+#include "direct/supernodes.hpp"
+#include "gen/grid_fem.hpp"
+#include "iterative/bicgstab.hpp"
+#include "iterative/gmres.hpp"
+#include "graph/bisect.hpp"
+#include "graph/graph.hpp"
+#include "hypergraph/bisect.hpp"
+#include "hypergraph/coarsen.hpp"
+#include "hypergraph/recursive.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/permute.hpp"
+#include "sparse/spgemm.hpp"
+#include "sparse/symmetrize.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pdslin;
+
+CsrMatrix bench_matrix(index_t side) {
+  GridFemOptions opt;
+  opt.nx = opt.ny = side;
+  return generate_grid_fem(opt).a;
+}
+
+void BM_Transpose(benchmark::State& state) {
+  const CsrMatrix a = bench_matrix(static_cast<index_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transpose(a));
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_Transpose)->Arg(64)->Arg(128);
+
+void BM_Symmetrize(benchmark::State& state) {
+  const CsrMatrix a = bench_matrix(static_cast<index_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(symmetrize_abs(a));
+  }
+}
+BENCHMARK(BM_Symmetrize)->Arg(64)->Arg(128);
+
+void BM_Spgemm(benchmark::State& state) {
+  const CsrMatrix a = bench_matrix(static_cast<index_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spgemm(a, a));
+  }
+}
+BENCHMARK(BM_Spgemm)->Arg(48)->Arg(96);
+
+void BM_Etree(benchmark::State& state) {
+  const CsrMatrix a = bench_matrix(static_cast<index_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(elimination_tree(a));
+  }
+}
+BENCHMARK(BM_Etree)->Arg(128);
+
+void BM_MinimumDegree(benchmark::State& state) {
+  const CsrMatrix a = bench_matrix(static_cast<index_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minimum_degree_ordering(a));
+  }
+}
+BENCHMARK(BM_MinimumDegree)->Arg(48)->Arg(96);
+
+void BM_LuFactorize(benchmark::State& state) {
+  const CsrMatrix a = bench_matrix(static_cast<index_t>(state.range(0)));
+  const auto perm = minimum_degree_ordering(symmetrize_abs(pattern_of(a)));
+  const CsrMatrix ordered = permute_symmetric(a, perm);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lu_factorize(ordered));
+  }
+}
+BENCHMARK(BM_LuFactorize)->Arg(48)->Arg(96);
+
+void BM_MultiRhsSolve(benchmark::State& state) {
+  const CsrMatrix a = bench_matrix(64);
+  const auto perm = minimum_degree_ordering(symmetrize_abs(pattern_of(a)));
+  const LuFactors lu = lu_factorize(permute_symmetric(a, perm));
+  Rng rng(7);
+  CooMatrix coo(a.rows, 240);
+  for (index_t j = 0; j < 240; ++j) {
+    for (int e = 0; e < 6; ++e) coo.add(rng.index(a.rows), j, rng.uniform());
+  }
+  const CscMatrix rhs = coo_to_csc(coo);
+  std::vector<index_t> order(240);
+  std::iota(order.begin(), order.end(), 0);
+  const auto block = static_cast<index_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solve_multi_rhs_blocked(lu.lower, rhs, order, block));
+  }
+}
+BENCHMARK(BM_MultiRhsSolve)->Arg(1)->Arg(16)->Arg(60)->Arg(240);
+
+void BM_GraphBisect(benchmark::State& state) {
+  const Graph g = graph_from_matrix(
+      symmetrize_abs(bench_matrix(static_cast<index_t>(state.range(0)))));
+  GraphBisectOptions opt;
+  for (auto _ : state) {
+    opt.seed++;
+    benchmark::DoNotOptimize(bisect_graph(g, opt));
+  }
+}
+BENCHMARK(BM_GraphBisect)->Arg(64)->Arg(128);
+
+void BM_HypergraphBisect(benchmark::State& state) {
+  const Hypergraph h = column_net_model(
+      bench_matrix(static_cast<index_t>(state.range(0))));
+  HgBisectOptions opt;
+  for (auto _ : state) {
+    opt.seed++;
+    benchmark::DoNotOptimize(bisect_hypergraph(h, opt));
+  }
+}
+BENCHMARK(BM_HypergraphBisect)->Arg(64)->Arg(128);
+
+void BM_HypergraphCoarsen(benchmark::State& state) {
+  const Hypergraph h = column_net_model(bench_matrix(128));
+  Rng rng(3);
+  for (auto _ : state) {
+    const auto match = heavy_connectivity_matching(h, rng);
+    benchmark::DoNotOptimize(contract(h, match));
+  }
+}
+BENCHMARK(BM_HypergraphCoarsen);
+
+// Ablation: recursive partitioning under the three net-inheritance policies.
+void BM_RecursiveMetric(benchmark::State& state) {
+  const Hypergraph h = column_net_model(bench_matrix(96));
+  HgPartitionOptions opt;
+  opt.num_parts = 8;
+  opt.metric = static_cast<CutMetric>(state.range(0));
+  for (auto _ : state) {
+    opt.seed++;
+    benchmark::DoNotOptimize(partition_recursive(h, opt));
+  }
+}
+BENCHMARK(BM_RecursiveMetric)
+    ->Arg(static_cast<int>(CutMetric::Con1))
+    ->Arg(static_cast<int>(CutMetric::CutNet))
+    ->Arg(static_cast<int>(CutMetric::Soed));
+
+// Ablation: dynamic vs static weights in RHB (overhead of recomputation).
+void BM_RhbWeights(benchmark::State& state) {
+  GridFemOptions gopt;
+  gopt.nx = gopt.ny = 96;
+  const GeneratedProblem p = generate_grid_fem(gopt);
+  RhbOptions opt;
+  opt.num_parts = 8;
+  opt.dynamic_weights = state.range(0) != 0;
+  for (auto _ : state) {
+    opt.seed++;
+    benchmark::DoNotOptimize(rhb_partition(p.incidence, opt));
+  }
+}
+BENCHMARK(BM_RhbWeights)->Arg(0)->Arg(1);
+
+// Ablation: GMRES vs BiCGSTAB on the same preconditioned system.
+void BM_KrylovMethod(benchmark::State& state) {
+  const CsrMatrix a = bench_matrix(48);
+  const MatrixOperator op(a);
+  Rng rng(11);
+  std::vector<value_t> b(a.rows);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  for (auto _ : state) {
+    std::vector<value_t> x(a.rows, 0.0);
+    if (state.range(0) == 0) {
+      GmresOptions gopt;
+      gopt.rel_tolerance = 1e-8;
+      benchmark::DoNotOptimize(gmres(op, nullptr, b, x, gopt));
+    } else {
+      BicgstabOptions bopt;
+      bopt.rel_tolerance = 1e-8;
+      benchmark::DoNotOptimize(bicgstab(op, nullptr, b, x, bopt));
+    }
+  }
+}
+BENCHMARK(BM_KrylovMethod)->Arg(0)->Arg(1);
+
+void BM_SupernodeDetection(benchmark::State& state) {
+  const CsrMatrix a = bench_matrix(static_cast<index_t>(state.range(0)));
+  const auto perm = minimum_degree_ordering(symmetrize_abs(pattern_of(a)));
+  const CsrMatrix ordered = permute_symmetric(a, perm);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fundamental_supernodes(ordered));
+  }
+}
+BENCHMARK(BM_SupernodeDetection)->Arg(64)->Arg(128);
+
+// Ablation: serial vs parallel RHB recursion (identical results by design;
+// on a single-core host the parallel path only measures spawn overhead).
+void BM_RhbThreads(benchmark::State& state) {
+  GridFemOptions gopt;
+  gopt.nx = gopt.ny = 64;
+  const GeneratedProblem p = generate_grid_fem(gopt);
+  RhbOptions opt;
+  opt.num_parts = 8;
+  opt.attempts = 1;
+  opt.threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rhb_partition(p.incidence, opt));
+  }
+}
+BENCHMARK(BM_RhbThreads)->Arg(1)->Arg(4);
+
+void BM_CliqueCover(benchmark::State& state) {
+  const CsrMatrix a = bench_matrix(static_cast<index_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clique_cover_factor(a));
+  }
+}
+BENCHMARK(BM_CliqueCover)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

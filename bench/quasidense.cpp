@@ -1,0 +1,52 @@
+// Reproduces §V-B-c: the effect of removing quasi-dense rows from the
+// solution vectors before the RHS hypergraph partitioning — partitioning
+// time drops sharply (paper: factors up to 4×) while the padded-zero
+// fraction stays flat until τ becomes very small (< 0.1).
+#include <cstdio>
+
+#include "rhs_experiment.hpp"
+#include "reorder/hypergraph_rhs.hpp"
+#include "reorder/padding.hpp"
+
+using namespace pdslin;
+
+int main() {
+  bench::print_header("QUASI-DENSE ROW REMOVAL — partition time vs quality",
+                      "Section V-B-c");
+  const GeneratedProblem p =
+      make_suite_matrix("tdr190k", bench::bench_scale(1.0), bench::bench_seed());
+  std::printf("matrix: %s n=%d — preparing 8 subdomains...\n", p.name.c_str(),
+              p.a.rows);
+  const auto setups = bench::prepare_problem(p, bench::bench_seed());
+  const index_t block = 60;
+
+  std::printf("%6s %14s %14s %14s %12s\n", "tau", "removed(dense)",
+              "removed(empty)", "partition(s)", "padded frac");
+  for (const double tau : {1.5, 0.8, 0.6, 0.4, 0.3, 0.2, 0.1, 0.05, 0.02}) {
+    double time = 0.0, frac = 0.0;
+    long long removed_dense = 0, removed_empty = 0;
+    int counted = 0;
+    for (const auto& s : setups) {
+      if (s.num_cols == 0) continue;
+      HypergraphRhsOptions opt;
+      opt.block_size = block;
+      opt.quasi_dense_tau = tau;
+      opt.seed = bench::bench_seed();
+      const HypergraphRhsResult r =
+          hypergraph_rhs_ordering(s.patterns_md, s.lu_md.n, opt);
+      time += r.partition_seconds;
+      removed_dense += r.removed_dense_rows;
+      removed_empty += r.removed_empty_rows;
+      frac += padding_cost(s.patterns_md, r.col_order, block).fraction();
+      ++counted;
+    }
+    std::printf("%6.2f %14lld %14lld %14.3f %12.3f\n", tau, removed_dense,
+                removed_empty, time,
+                counted > 0 ? frac / counted : 0.0);
+  }
+  std::printf(
+      "\nexpected shape: partition time falls as tau shrinks (more rows "
+      "dropped);\npadded fraction flat until tau < ~0.1, then quality "
+      "degrades.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces Table II: partitioning statistics of the eight interior
+// subdomains using the single-constraint RHB algorithm with the soed metric
+// vs the NGD baseline: time (preconditioner + iterative solve), iteration
+// count, separator size n_S, and min/max of n_Dℓ, nnz_Dℓ, nnzcol_Eℓ, nnz_Eℓ.
+//
+// Expected shape: RHB improves nnz balance; for the circuit analogues the
+// separator (and hence everything downstream) shrinks dramatically —
+// the paper's ASIC_680ks row shows an 8.6× speedup.
+#include <algorithm>
+#include <cstdio>
+#include <span>
+
+#include "bench_common.hpp"
+
+using namespace pdslin;
+
+namespace {
+
+void print_row(const char* alg, const bench::PipelineResult& r) {
+  const DbbdStats& s = r.partition;
+  auto mm = [](const std::vector<long long>& v) {
+    return std::pair<long long, long long>{
+        *std::min_element(v.begin(), v.end()),
+        *std::max_element(v.begin(), v.end())};
+  };
+  const auto [dmin, dmax] = mm(s.dim_d);
+  const auto [zmin, zmax] = mm(s.nnz_d);
+  const auto [cmin, cmax] = mm(s.nnzcol_e);
+  const auto [emin, emax] = mm(s.nnz_e);
+  const double precond = r.stats.precond_seconds_serial() / 8.0 +
+                         r.stats.partition_seconds;  // per-process view
+  std::printf(
+      "  %-4s %7.2f+%-6.2f %5d %6lld  min %6lld %9lld %7lld %9lld\n", alg,
+      precond, r.stats.solve_seconds, r.stats.iterations,
+      static_cast<long long>(r.separator), dmin, zmin, cmin, emin);
+  std::printf("  %-4s %22s %6s  max %6lld %9lld %7lld %9lld\n", "", "", "",
+              dmax, zmax, cmax, emax);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "TABLE II — partitioning statistics, 8 subdomains, soed single-constraint",
+      "Table II");
+  const double scale = bench::bench_scale(1.0);
+  std::printf("%-4s %14s %6s %6s      %6s %9s %7s %9s\n", "alg",
+              "time(s)", "#iter", "n_S", "n_D", "nnz_D", "colE", "nnz_E");
+
+  for (const char* name :
+       {"dds.quad", "dds.linear", "matrix211", "ASIC_680ks", "G3_circuit"}) {
+    const GeneratedProblem p =
+        make_suite_matrix(name, scale, bench::bench_seed());
+    std::printf("\n%s (n=%d, nnz/n=%.1f)\n", name, p.a.rows,
+                static_cast<double>(p.a.nnz()) / p.a.rows);
+    for (const PartitionMethod method :
+         {PartitionMethod::NGD, PartitionMethod::RHB}) {
+      SolverOptions opt = bench::bench_solver_options();
+      opt.partitioning = method;
+      opt.metric = CutMetric::Soed;
+      opt.constraints = RhbConstraintMode::SingleW1;
+      opt.num_subdomains = 8;
+      const bench::PipelineResult r = bench::run_pipeline(p, opt);
+      print_row(to_string(method), r);
+      if (!r.converged) std::printf("  ^ WARNING: iterative solve did not converge\n");
+    }
+  }
+  std::printf(
+      "\nexpected shape: RHB tightens the min..max spreads of nnz_D and "
+      "nnz_E;\nfor ASIC_680ks the separator collapses (paper: 9.2k -> 1.1k, "
+      "8.6x speedup).\n");
+  return 0;
+}

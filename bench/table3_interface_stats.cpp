@@ -1,0 +1,75 @@
+// Reproduces Table III: statistics of the interface solution blocks G_ℓ over
+// the eight NGD subdomains — nnz(G), nonzero columns/rows of G, effective
+// density nnz/(nnzcol·nnzrow), and fill-ratio nnz(G)/nnz(Ê).
+//
+// Expected shape: the cavity matrices show high fill-ratios (hundreds to
+// >1000 for dds.linear); matrix211 shows a much lower fill-ratio and low
+// effective density — the property that makes postorder beat the hypergraph
+// ordering in Fig. 4(d).
+#include <algorithm>
+#include <cstdio>
+
+#include "rhs_experiment.hpp"
+
+using namespace pdslin;
+
+int main() {
+  bench::print_header("TABLE III — interface (G_l) statistics, 8 subdomains",
+                      "Table III");
+  const double scale = bench::bench_scale(1.0);
+  const std::uint64_t seed = bench::bench_seed();
+
+  std::printf("%-12s      %10s %9s %9s %10s %10s\n", "matrix", "nnzG",
+              "nnzcolG", "nnzrowG", "eff.dens.", "fill-ratio");
+  for (const char* name : {"tdr190k", "dds.quad", "dds.linear", "matrix211"}) {
+    const GeneratedProblem p = make_suite_matrix(name, scale, seed);
+    const auto setups = bench::prepare_problem(p, seed);
+
+    struct RowStats {
+      double nnz, ncol, nrow, dens, fill;
+    };
+    std::vector<RowStats> rows;
+    for (const auto& s : setups) {
+      long long nnz = 0;
+      long long ncol = 0;
+      std::vector<char> row_seen(s.lu_md.n, 0);
+      for (const auto& pat : s.patterns_md) {
+        nnz += static_cast<long long>(pat.size());
+        if (!pat.empty()) ++ncol;
+        for (index_t r : pat) row_seen[r] = 1;
+      }
+      const long long nrow = std::count(row_seen.begin(), row_seen.end(), 1);
+      const double dens =
+          (ncol > 0 && nrow > 0)
+              ? static_cast<double>(nnz) /
+                    (static_cast<double>(ncol) * static_cast<double>(nrow))
+              : 0.0;
+      const double fill =
+          s.nnz_ehat > 0
+              ? static_cast<double>(nnz) / static_cast<double>(s.nnz_ehat)
+              : 0.0;
+      rows.push_back({static_cast<double>(nnz), static_cast<double>(ncol),
+                      static_cast<double>(nrow), dens, fill});
+    }
+    auto pick = [&](auto proj, bool want_min) {
+      double best = proj(rows[0]);
+      for (const auto& r : rows) {
+        best = want_min ? std::min(best, proj(r)) : std::max(best, proj(r));
+      }
+      return best;
+    };
+    for (const bool want_min : {true, false}) {
+      std::printf("%-12s %-4s %10.3g %9.3g %9.3g %10.4f %10.1f\n",
+                  want_min ? name : "", want_min ? "min" : "max",
+                  pick([](const RowStats& r) { return r.nnz; }, want_min),
+                  pick([](const RowStats& r) { return r.ncol; }, want_min),
+                  pick([](const RowStats& r) { return r.nrow; }, want_min),
+                  pick([](const RowStats& r) { return r.dens; }, want_min),
+                  pick([](const RowStats& r) { return r.fill; }, want_min));
+    }
+  }
+  std::printf(
+      "\nexpected shape: cavity analogues show high fill-ratio; matrix211 "
+      "shows the\nlowest fill-ratio and effective density of its class.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Accelerator-cavity scenario (the paper's motivating application): a
+// highly-indefinite shifted system where the Schur complement method shines.
+// Compares the NGD baseline against RHB with each cut metric, showing the
+// balance/separator/time trade-off of paper §III on one workload.
+//
+//   $ ./accelerator_cavity [scale]
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "core/schur_solver.hpp"
+#include "gen/suite.hpp"
+#include "sparse/ops.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+using namespace pdslin;
+
+namespace {
+
+void run_config(const GeneratedProblem& p, PartitionMethod method,
+                CutMetric metric) {
+  SolverOptions opt;
+  opt.num_subdomains = 8;
+  opt.partitioning = method;
+  opt.metric = metric;
+  opt.assembly.drop_wg = 1e-6;
+  opt.assembly.drop_s = 1e-5;
+
+  SchurSolver solver(p.a, opt);
+  solver.setup(p.incidence.rows > 0 ? &p.incidence : nullptr);
+  solver.factor();
+  Rng rng(7);
+  std::vector<value_t> b(p.a.rows), x(p.a.rows, 0.0);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  const GmresResult res = solver.solve(b, x);
+
+  const DbbdStats& s = solver.stats().partition;
+  std::printf("%-4s/%-5s sep=%5d nnzD-bal=%.2f nnzE-bal=%.2f iters=%2d "
+              "time=%.2fs relres=%.1e\n",
+              to_string(method),
+              method == PartitionMethod::RHB ? to_string(metric) : "-",
+              solver.partition().separator_size(),
+              max_over_min(std::span<const long long>(s.nnz_d)),
+              max_over_min(std::span<const long long>(s.nnz_e)),
+              res.iterations, solver.stats().parallel_time_one_level(),
+              residual_norm(p.a, x, b) / norm2(b));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.6;
+  const GeneratedProblem p = make_suite_matrix("tdr190k", scale);
+  std::printf("cavity analogue: n=%d nnz=%d (indefinite, pattern-symmetric)\n\n",
+              p.a.rows, p.a.nnz());
+  run_config(p, PartitionMethod::NGD, CutMetric::Soed);
+  for (const CutMetric m :
+       {CutMetric::Con1, CutMetric::CutNet, CutMetric::Soed}) {
+    run_config(p, PartitionMethod::RHB, m);
+  }
+  std::printf("\nRHB trades a slightly larger separator for much better "
+              "inter-subdomain balance\n(the max/min columns), which is what "
+              "cuts the parallel preconditioner time.\n");
+  return 0;
+}

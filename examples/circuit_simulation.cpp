@@ -1,0 +1,54 @@
+// Circuit-simulation scenario: netlist matrices with multi-pin nets and
+// quasi-dense power rails — the workload where the hypergraph pipeline wins
+// big (paper Table II, ASIC_680ks: separator 9.2k → 1.1k, 8.6× faster).
+//
+//   $ ./circuit_simulation [scale]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/schur_solver.hpp"
+#include "gen/suite.hpp"
+#include "sparse/ops.hpp"
+#include "util/rng.hpp"
+
+using namespace pdslin;
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+  const GeneratedProblem p = make_suite_matrix("ASIC_680ks", scale);
+  std::printf("circuit netlist analogue: n=%d nnz=%d (clique-expanded "
+              "multi-pin nets,\n%d incidence rows, value-unsymmetric)\n\n",
+              p.a.rows, p.a.nnz(), p.incidence.rows);
+
+  Rng rng(11);
+  std::vector<value_t> b(p.a.rows), x(p.a.rows);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+
+  for (const PartitionMethod method :
+       {PartitionMethod::NGD, PartitionMethod::RHB}) {
+    SolverOptions opt;
+    opt.num_subdomains = 8;
+    opt.partitioning = method;
+    opt.metric = CutMetric::Soed;
+    opt.assembly.drop_wg = 1e-6;
+    opt.assembly.drop_s = 1e-5;
+    SchurSolver solver(p.a, opt);
+    solver.setup(&p.incidence);
+    solver.factor();
+    std::fill(x.begin(), x.end(), 0.0);
+    const GmresResult res = solver.solve(b, x);
+    std::printf("%-3s: separator %5d, schur nnz %8lld, iters %2d, "
+                "total %.2fs, residual %.1e\n",
+                to_string(method), solver.partition().separator_size(),
+                solver.stats().schur_nnz, res.iterations,
+                solver.stats().parallel_time_one_level(),
+                residual_norm(p.a, x, b) / norm2(b));
+  }
+  std::printf(
+      "\nwhy RHB wins here: slicing a fanout-f net costs the edge-cut "
+      "partitioner ~f^2/4\ncut edges and ~f/2 separator vertices; the "
+      "column-net hypergraph charges exactly 1\nand puts only genuinely "
+      "shared cells in the separator.\n");
+  return 0;
+}

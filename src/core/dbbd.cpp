@@ -1,0 +1,113 @@
+#include "core/dbbd.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace pdslin {
+
+DbbdPartition build_dbbd(const std::vector<index_t>& part, index_t num_parts) {
+  DbbdPartition p;
+  p.n = static_cast<index_t>(part.size());
+  p.num_parts = num_parts;
+  p.part = part;
+
+  std::vector<index_t> count(num_parts + 1, 0);  // last slot = separator
+  for (index_t label : part) {
+    PDSLIN_CHECK(label == DissectionResult::kSeparator ||
+                 (label >= 0 && label < num_parts));
+    ++count[label < 0 ? num_parts : label];
+  }
+  p.domain_offset.resize(num_parts + 1);
+  index_t off = 0;
+  for (index_t l = 0; l < num_parts; ++l) {
+    p.domain_offset[l] = off;
+    off += count[l];
+  }
+  p.domain_offset[num_parts] = off;
+
+  p.perm.resize(p.n);
+  std::vector<index_t> next(num_parts + 1);
+  for (index_t l = 0; l < num_parts; ++l) next[l] = p.domain_offset[l];
+  next[num_parts] = p.domain_offset[num_parts];
+  for (index_t v = 0; v < p.n; ++v) {
+    const index_t slot = part[v] < 0 ? num_parts : part[v];
+    p.perm[next[slot]++] = v;
+  }
+  p.iperm.resize(p.n);
+  for (index_t i = 0; i < p.n; ++i) p.iperm[p.perm[i]] = i;
+  return p;
+}
+
+DbbdPartition build_dbbd(const std::vector<index_t>& part, index_t num_parts,
+                         const std::vector<index_t>& separator_order) {
+  DbbdPartition p = build_dbbd(part, num_parts);
+  if (separator_order.empty()) return p;
+  const index_t sep_begin = p.domain_offset[num_parts];
+  PDSLIN_CHECK_MSG(separator_order.size() ==
+                       static_cast<std::size_t>(p.n - sep_begin),
+                   "separator_order must list exactly the separator unknowns");
+  std::vector<char> seen(p.n, 0);
+  for (std::size_t i = 0; i < separator_order.size(); ++i) {
+    const index_t v = separator_order[i];
+    PDSLIN_CHECK_MSG(v >= 0 && v < p.n && !seen[v] &&
+                         part[v] == DissectionResult::kSeparator,
+                     "separator_order must be a permutation of the separator");
+    seen[v] = 1;
+    p.perm[sep_begin + static_cast<index_t>(i)] = v;
+  }
+  for (index_t i = sep_begin; i < p.n; ++i) p.iperm[p.perm[i]] = i;
+  return p;
+}
+
+DbbdStats dbbd_stats(const CsrMatrix& a, const DbbdPartition& p) {
+  PDSLIN_CHECK(a.rows == a.cols && a.rows == p.n);
+  const index_t k = p.num_parts;
+  DbbdStats s;
+  s.dim_d.assign(k, 0);
+  s.nnz_d.assign(k, 0);
+  s.nnzcol_e.assign(k, 0);
+  s.nnz_e.assign(k, 0);
+  s.nnzrow_f.assign(k, 0);
+  s.nnz_f.assign(k, 0);
+  s.separator_size = p.separator_size();
+
+  for (index_t l = 0; l < k; ++l) s.dim_d[l] = p.domain_size(l);
+
+  // One pass over A classifies entries; distinct nonzero columns of E_ℓ
+  // (rows of F_ℓ) are counted from sorted (domain, index) pair lists.
+  std::vector<std::pair<index_t, index_t>> e_cols, f_rows;
+  for (index_t i = 0; i < a.rows; ++i) {
+    const index_t pi = p.part[i];
+    for (index_t q = a.row_ptr[i]; q < a.row_ptr[i + 1]; ++q) {
+      const index_t j = a.col_idx[q];
+      const index_t pj = p.part[j];
+      if (pi >= 0 && pj == pi) {
+        ++s.nnz_d[pi];
+      } else if (pi >= 0 && pj < 0) {
+        ++s.nnz_e[pi];  // E_ℓ entry: interior row, separator column
+        e_cols.emplace_back(pi, j);
+      } else if (pi < 0 && pj >= 0) {
+        ++s.nnz_f[pj];  // F_ℓ entry: separator row, interior column
+        f_rows.emplace_back(pj, i);
+      } else if (pi < 0 && pj < 0) {
+        ++s.nnz_c;
+      } else {
+        // Interior row of one domain, interior column of another: the
+        // partition is not a valid dissection.
+        PDSLIN_CHECK_MSG(false, "edge between two different subdomains");
+      }
+    }
+  }
+  auto count_distinct = [](std::vector<std::pair<index_t, index_t>>& pairs,
+                           std::vector<long long>& out) {
+    std::sort(pairs.begin(), pairs.end());
+    pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+    for (const auto& pr : pairs) ++out[pr.first];
+  };
+  count_distinct(e_cols, s.nnzcol_e);
+  count_distinct(f_rows, s.nnzrow_f);
+  return s;
+}
+
+}  // namespace pdslin

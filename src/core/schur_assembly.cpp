@@ -1,0 +1,262 @@
+#include "core/schur_assembly.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "direct/mindeg.hpp"
+#include "reorder/postorder_rhs.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/permute.hpp"
+#include "sparse/spgemm.hpp"
+#include "sparse/symmetrize.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace pdslin {
+
+namespace {
+
+// CSC of A with rows renumbered: new row index of old row r is new_of[r].
+CscMatrix remap_rows_to_csc(const CsrMatrix& a,
+                            const std::vector<index_t>& new_of) {
+  CscMatrix out(a.rows, a.cols);
+  // Count per column.
+  for (index_t c : a.col_idx) ++out.col_ptr[c + 1];
+  for (index_t j = 0; j < a.cols; ++j) out.col_ptr[j + 1] += out.col_ptr[j];
+  out.row_idx.resize(a.col_idx.size());
+  out.values.resize(a.values.size());
+  std::vector<index_t> next(out.col_ptr.begin(), out.col_ptr.end() - 1);
+  for (index_t i = 0; i < a.rows; ++i) {
+    const index_t ni = new_of[i];
+    for (index_t q = a.row_ptr[i]; q < a.row_ptr[i + 1]; ++q) {
+      const index_t slot = next[a.col_idx[q]]++;
+      out.row_idx[slot] = ni;
+      out.values[slot] = a.values[q];
+    }
+  }
+  out.sort_cols();
+  return out;
+}
+
+// Column order for a multi-RHS solve per the configured strategy. `rhs` has
+// rows already in factor order.
+std::vector<index_t> choose_rhs_order(const CscMatrix& l, const CscMatrix& rhs,
+                                      const SchurAssemblyOptions& opt,
+                                      double& reorder_seconds) {
+  WallTimer t;
+  std::vector<index_t> order(rhs.cols);
+  std::iota(order.begin(), order.end(), 0);
+  switch (opt.rhs_ordering) {
+    case RhsOrdering::Natural:
+      break;
+    case RhsOrdering::Postorder: {
+      // Rows are already postordered along with D when this mode is active;
+      // sorting by first nonzero under the identity row order is the §IV-A
+      // column step.
+      std::vector<index_t> identity(rhs.rows);
+      std::iota(identity.begin(), identity.end(), 0);
+      order = sort_columns_by_first_nonzero(rhs, identity);
+      break;
+    }
+    case RhsOrdering::Hypergraph: {
+      const auto patterns = symbolic_solve_patterns(l, rhs);
+      HypergraphRhsOptions hopt = opt.hg_rhs;
+      hopt.block_size = opt.rhs_block_size;
+      hopt.seed = opt.seed;
+      order = hypergraph_rhs_ordering(patterns, rhs.rows, hopt).col_order;
+      break;
+    }
+  }
+  reorder_seconds += t.seconds();
+  return order;
+}
+
+// Undo the column ordering of a blocked solve: out(:, order[j]) = in(:, j).
+CscMatrix unpermute_columns(const CscMatrix& in,
+                            const std::vector<index_t>& order) {
+  CscMatrix out(in.rows, in.cols);
+  // Column lengths.
+  for (index_t j = 0; j < in.cols; ++j) {
+    out.col_ptr[order[j] + 1] = in.col_nnz(j);
+  }
+  for (index_t j = 0; j < in.cols; ++j) out.col_ptr[j + 1] += out.col_ptr[j];
+  out.row_idx.resize(in.row_idx.size());
+  out.values.resize(in.values.size());
+  for (index_t j = 0; j < in.cols; ++j) {
+    index_t dst = out.col_ptr[order[j]];
+    for (index_t q = in.col_ptr[j]; q < in.col_ptr[j + 1]; ++q) {
+      out.row_idx[dst] = in.row_idx[q];
+      out.values[dst] = in.values[q];
+      ++dst;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+CscMatrix drop_small_columns(const CscMatrix& a, double rel_tol) {
+  CscMatrix out(a.rows, a.cols);
+  out.row_idx.reserve(a.row_idx.size());
+  out.values.reserve(a.values.size());
+  for (index_t j = 0; j < a.cols; ++j) {
+    value_t cmax = 0.0;
+    for (index_t q = a.col_ptr[j]; q < a.col_ptr[j + 1]; ++q) {
+      cmax = std::max(cmax, std::abs(a.values[q]));
+    }
+    const value_t cut = rel_tol * cmax;
+    for (index_t q = a.col_ptr[j]; q < a.col_ptr[j + 1]; ++q) {
+      if (std::abs(a.values[q]) >= cut && a.values[q] != 0.0) {
+        out.row_idx.push_back(a.row_idx[q]);
+        out.values.push_back(a.values[q]);
+      }
+    }
+    out.col_ptr[j + 1] = static_cast<index_t>(out.row_idx.size());
+  }
+  return out;
+}
+
+SubdomainFactorization assemble_subdomain(const Subdomain& sub,
+                                          const SchurAssemblyOptions& opt) {
+  SubdomainFactorization f;
+  const index_t nd = sub.d.rows;
+  WallTimer timer;
+
+  // --- Fill-reducing ordering (minimum degree), optionally composed with
+  // the e-tree postorder when the §IV-A RHS strategy is active. ---
+  timer.reset();
+  const CsrMatrix dsym = symmetrize_abs(pattern_of(sub.d));
+  f.colmap = minimum_degree_ordering(dsym);
+  CsrMatrix d_ord = permute_symmetric(sub.d, f.colmap);
+  if (opt.rhs_ordering == RhsOrdering::Postorder) {
+    const std::vector<index_t> post = etree_postorder_permutation(d_ord);
+    // Compose: colmap[new] = old goes through the postorder.
+    std::vector<index_t> composed(nd);
+    for (index_t i = 0; i < nd; ++i) composed[i] = f.colmap[post[i]];
+    f.colmap = std::move(composed);
+    d_ord = permute_symmetric(sub.d, f.colmap);
+  }
+  f.order_seconds = timer.seconds();
+
+  // --- LU factorization of the (re)ordered subdomain. ---
+  timer.reset();
+  f.lu = lu_factorize(d_ord, opt.lu);
+  f.factor_seconds = timer.seconds();
+  f.lu_nnz = f.lu.fill_nnz();
+
+  // Combined row map: pivot row k of the factors reads old local row
+  // colmap[lu.row_perm[k]].
+  f.rowmap.resize(nd);
+  for (index_t k = 0; k < nd; ++k) f.rowmap[k] = f.colmap[f.lu.row_perm[k]];
+  std::vector<index_t> row_new_of(nd);
+  for (index_t k = 0; k < nd; ++k) row_new_of[f.rowmap[k]] = k;
+
+  // --- G = L⁻¹ (P Ê): blocked multi-RHS forward solve. ---
+  f.nnz_ehat = sub.ehat.nnz();
+  const CscMatrix ehat_perm = remap_rows_to_csc(sub.ehat, row_new_of);
+  std::vector<index_t> g_order =
+      choose_rhs_order(f.lu.lower, ehat_perm, opt, f.reorder_seconds);
+  timer.reset();
+  MultiRhsResult g_res = solve_multi_rhs_blocked(f.lu.lower, ehat_perm, g_order,
+                                                 opt.rhs_block_size);
+  f.solve_g_seconds = timer.seconds();
+  f.g_stats = g_res.stats;
+  CscMatrix g = unpermute_columns(g_res.solution, g_order);
+  g = drop_small_columns(g, opt.drop_wg);
+
+  // --- Wᵀ = U⁻ᵀ (F̂ P̄)ᵀ: same machinery on the transposed factor. ---
+  // F̂ columns move to factor column order: new col index of old local c is
+  // inv(colmap)[c].
+  std::vector<index_t> col_new_of(nd);
+  for (index_t i = 0; i < nd; ++i) col_new_of[f.colmap[i]] = i;
+  // CSC of F̂'ᵀ: column r = row r of F̂ with remapped indices. That is, a
+  // CSR matrix whose rows are F̂'s rows = the same arrays reinterpreted.
+  CscMatrix fhat_t(nd, sub.fhat.rows);
+  fhat_t.col_ptr = sub.fhat.row_ptr;
+  fhat_t.row_idx.reserve(sub.fhat.col_idx.size());
+  for (index_t c : sub.fhat.col_idx) fhat_t.row_idx.push_back(col_new_of[c]);
+  fhat_t.values = sub.fhat.values;
+  fhat_t.sort_cols();
+
+  const CscMatrix ut = transpose(f.lu.upper);
+  std::vector<index_t> w_order =
+      choose_rhs_order(ut, fhat_t, opt, f.reorder_seconds);
+  timer.reset();
+  MultiRhsResult w_res =
+      solve_multi_rhs_blocked(ut, fhat_t, w_order, opt.rhs_block_size);
+  f.solve_w_seconds = timer.seconds();
+  f.w_stats = w_res.stats;
+  CscMatrix wt = unpermute_columns(w_res.solution, w_order);
+  wt = drop_small_columns(wt, opt.drop_wg);
+
+  // Table III statistics of G̃.
+  {
+    std::vector<char> row_seen(nd, 0);
+    for (index_t j = 0; j < g.cols; ++j) {
+      if (g.col_nnz(j) > 0) ++f.g_nnzcol;
+    }
+    for (index_t r : g.row_idx) row_seen[r] = 1;
+    f.g_nnzrow = std::count(row_seen.begin(), row_seen.end(), 1);
+  }
+
+  // --- T̃ = W̃ G̃. W (m_f × nd) in CSR is exactly Wᵀ's CSC arrays. ---
+  timer.reset();
+  CsrMatrix w_csr;
+  w_csr.rows = wt.cols;
+  w_csr.cols = wt.rows;
+  w_csr.row_ptr = wt.col_ptr;
+  w_csr.col_idx = wt.row_idx;
+  w_csr.values = wt.values;
+  const CsrMatrix g_csr = csc_to_csr(g);
+  f.t_tilde = spgemm(w_csr, g_csr);
+  f.gemm_seconds = timer.seconds();
+  return f;
+}
+
+CsrMatrix assemble_schur(const CsrMatrix& c_block,
+                         const std::vector<Subdomain>& subs,
+                         const std::vector<SubdomainFactorization>& facts,
+                         double drop_s) {
+  PDSLIN_CHECK(subs.size() == facts.size());
+  const index_t ns = c_block.rows;
+  CooMatrix acc(ns, ns);
+  acc.reserve(c_block.nnz());
+  for (index_t i = 0; i < c_block.rows; ++i) {
+    for (index_t q = c_block.row_ptr[i]; q < c_block.row_ptr[i + 1]; ++q) {
+      acc.add(i, c_block.col_idx[q], c_block.values[q]);
+    }
+  }
+  for (std::size_t l = 0; l < subs.size(); ++l) {
+    const CsrMatrix& t = facts[l].t_tilde;
+    const auto& rows = subs[l].f_rows;
+    const auto& cols = subs[l].e_cols;
+    for (index_t r = 0; r < t.rows; ++r) {
+      for (index_t q = t.row_ptr[r]; q < t.row_ptr[r + 1]; ++q) {
+        acc.add(rows[r], cols[t.col_idx[q]], -t.values[q]);
+      }
+    }
+  }
+  CsrMatrix s_hat = coo_to_csr(acc);
+
+  // Relative drop against the largest magnitude in each row; keep diagonal.
+  CsrMatrix s_tilde(ns, ns);
+  for (index_t i = 0; i < ns; ++i) {
+    value_t rmax = 0.0;
+    for (index_t q = s_hat.row_ptr[i]; q < s_hat.row_ptr[i + 1]; ++q) {
+      rmax = std::max(rmax, std::abs(s_hat.values[q]));
+    }
+    const value_t cut = drop_s * rmax;
+    for (index_t q = s_hat.row_ptr[i]; q < s_hat.row_ptr[i + 1]; ++q) {
+      const index_t j = s_hat.col_idx[q];
+      if (j == i || std::abs(s_hat.values[q]) >= cut) {
+        s_tilde.col_idx.push_back(j);
+        s_tilde.values.push_back(s_hat.values[q]);
+      }
+    }
+    s_tilde.row_ptr[i + 1] = static_cast<index_t>(s_tilde.col_idx.size());
+  }
+  return s_tilde;
+}
+
+}  // namespace pdslin

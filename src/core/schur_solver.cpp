@@ -1,0 +1,232 @@
+#include "core/schur_solver.hpp"
+
+#include <algorithm>
+
+#include "core/structural_factor.hpp"
+#include "direct/trisolve.hpp"
+#include "graph/graph.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/ops.hpp"
+#include "sparse/symmetrize.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace pdslin {
+
+SchurSolver::SchurSolver(CsrMatrix a, SolverOptions opt)
+    : a_(std::move(a)), opt_(std::move(opt)) {
+  PDSLIN_CHECK_MSG(a_.rows == a_.cols, "solver needs a square matrix");
+  PDSLIN_CHECK_MSG(a_.has_values(), "solver needs numeric values");
+  PDSLIN_CHECK_MSG(opt_.num_subdomains >= 1 &&
+                       (opt_.num_subdomains & (opt_.num_subdomains - 1)) == 0,
+                   "num_subdomains must be a power of two");
+}
+
+void SchurSolver::setup(const CsrMatrix* incidence) {
+  WallTimer timer;
+  std::vector<index_t> part;
+  std::vector<index_t> separator_order;  // NGD elimination order when known
+  if (opt_.partitioning == PartitionMethod::NGD) {
+    const CsrMatrix sym = symmetrize_abs(pattern_of(a_));
+    Graph g = graph_from_matrix(sym);
+    if (opt_.ngd_weighted) {
+      for (index_t v = 0; v < g.n; ++v) g.vwgt[v] = sym.row_nnz(v);
+    }
+    NgdOptions nopt;
+    nopt.num_parts = opt_.num_subdomains;
+    nopt.epsilon = opt_.partition_epsilon;
+    nopt.seed = opt_.seed;
+    DissectionResult nd = nested_dissection(g, nopt);
+    part = std::move(nd.part);
+    separator_order = std::move(nd.separator_order);
+  } else {
+    CsrMatrix m_local;
+    const CsrMatrix* m = incidence;
+    if (m == nullptr || m->rows == 0) {
+      const CsrMatrix sym = symmetrize_abs(pattern_of(a_));
+      m_local = clique_cover_factor(sym);
+      m = &m_local;
+    }
+    PDSLIN_CHECK_MSG(m->cols == a_.rows,
+                     "incidence columns must match the matrix dimension");
+    RhbOptions ropt;
+    ropt.num_parts = opt_.num_subdomains;
+    ropt.metric = opt_.metric;
+    ropt.constraints = opt_.constraints;
+    ropt.dynamic_weights = opt_.rhb_dynamic_weights;
+    ropt.epsilon = opt_.partition_epsilon;
+    ropt.seed = opt_.seed;
+    ropt.threads = opt_.threads;
+    part = rhb_partition(*m, ropt).unknowns.part;
+  }
+  dbbd_ = build_dbbd(part, opt_.num_subdomains, separator_order);
+  stats_.partition_seconds = timer.seconds();
+  stats_.partition = dbbd_stats(a_, dbbd_);
+  stats_.schur_dim = dbbd_.separator_size();
+  setup_done_ = true;
+  factor_done_ = false;
+  log_info("partition: ", to_string(opt_.partitioning), " k=",
+           opt_.num_subdomains, " separator=", dbbd_.separator_size(), " (",
+           stats_.partition_seconds, "s)");
+}
+
+void SchurSolver::factor() {
+  PDSLIN_CHECK_MSG(setup_done_, "call setup() before factor()");
+  const index_t k = opt_.num_subdomains;
+  subs_.resize(k);
+  facts_.resize(k);
+  stats_.lu_d_seconds.assign(k, 0.0);
+  stats_.comp_s_seconds.assign(k, 0.0);
+
+  auto process_domain = [&](int l) {
+    subs_[l] = extract_subdomain(a_, dbbd_, l);
+    facts_[l] = assemble_subdomain(subs_[l], opt_.assembly);
+    stats_.lu_d_seconds[l] =
+        facts_[l].order_seconds + facts_[l].factor_seconds;
+    stats_.comp_s_seconds[l] = facts_[l].solve_g_seconds +
+                               facts_[l].solve_w_seconds +
+                               facts_[l].reorder_seconds +
+                               facts_[l].gemm_seconds;
+  };
+  if (opt_.threads > 1) {
+    ThreadPool pool(opt_.threads);
+    parallel_for(pool, k, process_domain);
+  } else {
+    for (index_t l = 0; l < k; ++l) process_domain(l);
+  }
+
+  WallTimer timer;
+  c_block_ = extract_separator_block(a_, dbbd_);
+  s_tilde_ = assemble_schur(c_block_, subs_, facts_, opt_.assembly.drop_s);
+  stats_.gather_seconds = timer.seconds();
+  stats_.schur_nnz = s_tilde_.nnz();
+
+  if (s_tilde_.rows > 0) {
+    precond_ =
+        std::make_unique<SchurPreconditioner>(s_tilde_, opt_.assembly.lu);
+    stats_.lu_s_seconds = precond_->factor_seconds();
+    stats_.precond_nnz = precond_->factor_nnz();
+  } else {
+    // Degenerate but legal: no separator (block-diagonal matrix or k = 1).
+    precond_.reset();
+    stats_.lu_s_seconds = 0.0;
+    stats_.precond_nnz = 0;
+  }
+
+  factor_done_ = true;
+  log_info("factor: LU(S~) nnz=", stats_.precond_nnz, " (",
+           stats_.lu_s_seconds, "s)");
+}
+
+void SchurSolver::domain_solve(index_t l, std::span<const value_t> b,
+                               std::span<value_t> z) const {
+  const SubdomainFactorization& f = facts_[l];
+  const index_t nd = f.lu.n;
+  PDSLIN_CHECK(b.size() == static_cast<std::size_t>(nd));
+  PDSLIN_CHECK(z.size() == static_cast<std::size_t>(nd));
+  std::vector<value_t> w(nd);
+  for (index_t kk = 0; kk < nd; ++kk) w[kk] = b[f.rowmap[kk]];
+  lower_solve_dense(f.lu.lower, w, /*unit_diag=*/true);
+  upper_solve_dense(f.lu.upper, w);
+  for (index_t j = 0; j < nd; ++j) z[f.colmap[j]] = w[j];
+}
+
+// Implicit Schur operator: S y = C y − Σ_ℓ F̂_ℓ D_ℓ⁻¹ Ê_ℓ (R_Eᵀ y).
+class SchurSolver::SchurOperator final : public LinearOperator {
+ public:
+  explicit SchurOperator(const SchurSolver& s) : s_(s) {}
+  [[nodiscard]] index_t size() const override {
+    return s_.dbbd_.separator_size();
+  }
+  void apply(std::span<const value_t> y, std::span<value_t> out) const override {
+    spmv(s_.c_block_, y, out);
+    for (index_t l = 0; l < s_.opt_.num_subdomains; ++l) {
+      const Subdomain& sub = s_.subs_[l];
+      const index_t nd = sub.d.rows;
+      std::vector<value_t> v(sub.e_cols.size());
+      for (std::size_t c = 0; c < sub.e_cols.size(); ++c) {
+        v[c] = y[sub.e_cols[c]];
+      }
+      std::vector<value_t> t(nd), z(nd);
+      spmv(sub.ehat, v, t);
+      s_.domain_solve(l, t, z);
+      std::vector<value_t> r(sub.f_rows.size());
+      spmv(sub.fhat, z, r);
+      for (std::size_t fr = 0; fr < sub.f_rows.size(); ++fr) {
+        out[sub.f_rows[fr]] -= r[fr];
+      }
+    }
+  }
+
+ private:
+  const SchurSolver& s_;
+};
+
+GmresResult SchurSolver::solve(std::span<const value_t> b,
+                               std::span<value_t> x) {
+  PDSLIN_CHECK_MSG(factor_done_, "call factor() before solve()");
+  PDSLIN_CHECK(b.size() == static_cast<std::size_t>(a_.rows));
+  PDSLIN_CHECK(x.size() == static_cast<std::size_t>(a_.rows));
+  WallTimer timer;
+
+  const index_t k = opt_.num_subdomains;
+  const index_t ns = dbbd_.separator_size();
+  const index_t sep_begin = dbbd_.domain_offset[k];
+
+  // ĝ = g − Σ F_ℓ D_ℓ⁻¹ f_ℓ.
+  std::vector<value_t> ghat(ns);
+  for (index_t s = 0; s < ns; ++s) ghat[s] = b[dbbd_.perm[sep_begin + s]];
+  std::vector<std::vector<value_t>> dinv_f(k);  // kept for back-substitution
+  for (index_t l = 0; l < k; ++l) {
+    const Subdomain& sub = subs_[l];
+    const index_t nd = sub.d.rows;
+    std::vector<value_t> f(nd);
+    for (index_t i = 0; i < nd; ++i) f[i] = b[sub.interior[i]];
+    dinv_f[l].resize(nd);
+    domain_solve(l, f, dinv_f[l]);
+    std::vector<value_t> r(sub.f_rows.size());
+    spmv(sub.fhat, dinv_f[l], r);
+    for (std::size_t fr = 0; fr < sub.f_rows.size(); ++fr) {
+      ghat[sub.f_rows[fr]] -= r[fr];
+    }
+  }
+
+  // Krylov solve of the Schur system with the LU(S̃) preconditioner.
+  const SchurOperator op(*this);
+  std::vector<value_t> y(ns, 0.0);
+  GmresResult res;
+  if (opt_.krylov == KrylovMethod::Bicgstab) {
+    const BicgstabResult br =
+        bicgstab(op, precond_.get(), ghat, y, opt_.bicgstab);
+    res.iterations = br.iterations;
+    res.relative_residual = br.relative_residual;
+    res.converged = br.converged;
+  } else {
+    res = gmres(op, precond_.get(), ghat, y, opt_.gmres);
+  }
+
+  // Back-substitution: u_ℓ = D_ℓ⁻¹ (f_ℓ − E_ℓ y) = dinv_f − D⁻¹ Ê (R y).
+  for (index_t l = 0; l < k; ++l) {
+    const Subdomain& sub = subs_[l];
+    const index_t nd = sub.d.rows;
+    std::vector<value_t> v(sub.e_cols.size());
+    for (std::size_t c = 0; c < sub.e_cols.size(); ++c) v[c] = y[sub.e_cols[c]];
+    std::vector<value_t> t(nd), z(nd);
+    spmv(sub.ehat, v, t);
+    domain_solve(l, t, z);
+    for (index_t i = 0; i < nd; ++i) {
+      x[sub.interior[i]] = dinv_f[l][i] - z[i];
+    }
+  }
+  for (index_t s = 0; s < ns; ++s) x[dbbd_.perm[sep_begin + s]] = y[s];
+
+  stats_.solve_seconds = timer.seconds();
+  stats_.iterations = res.iterations;
+  stats_.relative_residual = res.relative_residual;
+  stats_.converged = res.converged;
+  return res;
+}
+
+}  // namespace pdslin

@@ -1,0 +1,42 @@
+// Aggregated solver statistics: everything the paper's tables/figures
+// report, gathered in one place so the benchmark drivers just print.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/dbbd.hpp"
+#include "core/schur_assembly.hpp"
+
+namespace pdslin {
+
+struct SolverStats {
+  // --- partition phase ---
+  double partition_seconds = 0.0;
+  DbbdStats partition;  // dim(D), nnz(D), col(E), nnz(E), separator size
+
+  // --- preconditioner phases (per subdomain where meaningful) ---
+  std::vector<double> lu_d_seconds;      // LU(D_ℓ)
+  std::vector<double> comp_s_seconds;    // G/W solves + T̃ per subdomain
+  double gather_seconds = 0.0;           // Ŝ assembly + sparsification
+  double lu_s_seconds = 0.0;             // LU(S̃)
+  long long schur_dim = 0;               // n_S
+  long long schur_nnz = 0;               // nnz(S̃)
+  long long precond_nnz = 0;             // nnz(L+U of S̃)
+
+  // --- iterative solve ---
+  double solve_seconds = 0.0;
+  int iterations = 0;
+  double relative_residual = 0.0;
+  bool converged = false;
+
+  /// Modeled one-level parallel time: partition + max LU(D) + max Comp(S) +
+  /// LU(S̃) + solve (one process per subdomain, §V).
+  [[nodiscard]] double parallel_time_one_level() const;
+  /// Total serial (measured) time of the preconditioner phases.
+  [[nodiscard]] double precond_seconds_serial() const;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace pdslin

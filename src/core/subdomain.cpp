@@ -1,0 +1,70 @@
+#include "core/subdomain.hpp"
+
+#include <algorithm>
+
+#include "sparse/ops.hpp"
+#include "util/error.hpp"
+
+namespace pdslin {
+
+Subdomain extract_subdomain(const CsrMatrix& a, const DbbdPartition& p,
+                            index_t l) {
+  PDSLIN_CHECK(l >= 0 && l < p.num_parts);
+  Subdomain s;
+  s.id = l;
+
+  // Interior unknowns in DBBD order (their order inside the block).
+  s.interior.assign(p.perm.begin() + p.domain_offset[l],
+                    p.perm.begin() + p.domain_offset[l + 1]);
+  const index_t sep_begin = p.domain_offset[p.num_parts];
+  const index_t sep_size = p.n - sep_begin;
+
+  // Separator unknowns in DBBD order, with their separator-local index.
+  // (iperm maps a global separator unknown to position sep_begin + local.)
+  std::vector<index_t> sep_globals(p.perm.begin() + sep_begin, p.perm.end());
+
+  s.d = extract(a, s.interior, s.interior);
+
+  // E_ℓ = A(interior, separator): find its nonzero columns → Ê_ℓ.
+  const CsrMatrix e_full = extract(a, s.interior, sep_globals);
+  s.e_cols = nonzero_columns(e_full);
+  s.ehat = CsrMatrix(e_full.rows, static_cast<index_t>(s.e_cols.size()));
+  {
+    std::vector<index_t> packed(sep_size, -1);
+    for (std::size_t c = 0; c < s.e_cols.size(); ++c) {
+      packed[s.e_cols[c]] = static_cast<index_t>(c);
+    }
+    for (index_t i = 0; i < e_full.rows; ++i) {
+      for (index_t q = e_full.row_ptr[i]; q < e_full.row_ptr[i + 1]; ++q) {
+        s.ehat.col_idx.push_back(packed[e_full.col_idx[q]]);
+        s.ehat.values.push_back(e_full.values[q]);
+      }
+      s.ehat.row_ptr[i + 1] = static_cast<index_t>(s.ehat.col_idx.size());
+    }
+  }
+
+  // F_ℓ = A(separator, interior): keep nonzero rows → F̂_ℓ.
+  const CsrMatrix f_full = extract(a, sep_globals, s.interior);
+  for (index_t i = 0; i < f_full.rows; ++i) {
+    if (f_full.row_nnz(i) > 0) s.f_rows.push_back(i);
+  }
+  s.fhat = CsrMatrix(static_cast<index_t>(s.f_rows.size()), f_full.cols);
+  for (std::size_t r = 0; r < s.f_rows.size(); ++r) {
+    const index_t i = s.f_rows[r];
+    for (index_t q = f_full.row_ptr[i]; q < f_full.row_ptr[i + 1]; ++q) {
+      s.fhat.col_idx.push_back(f_full.col_idx[q]);
+      s.fhat.values.push_back(f_full.values[q]);
+    }
+    s.fhat.row_ptr[r + 1] = static_cast<index_t>(s.fhat.col_idx.size());
+  }
+  return s;
+}
+
+CsrMatrix extract_separator_block(const CsrMatrix& a, const DbbdPartition& p) {
+  const index_t sep_begin = p.domain_offset[p.num_parts];
+  const std::vector<index_t> sep_globals(p.perm.begin() + sep_begin,
+                                         p.perm.end());
+  return extract(a, sep_globals, sep_globals);
+}
+
+}  // namespace pdslin

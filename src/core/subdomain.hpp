@@ -1,0 +1,36 @@
+// Per-subdomain local system extraction (paper §I):
+//   A_ℓ = [ D_ℓ  Ê_ℓ ]
+//         [ F̂_ℓ  O  ]
+// where Ê_ℓ / F̂_ℓ keep only the nonzero columns/rows of the interfaces, and
+// the interpolation index lists record where they live in the global
+// separator (the R_E / R_F maps, never formed explicitly).
+#pragma once
+
+#include <vector>
+
+#include "core/dbbd.hpp"
+#include "sparse/csr.hpp"
+
+namespace pdslin {
+
+struct Subdomain {
+  index_t id = 0;
+  CsrMatrix d;      // D_ℓ (local interior × local interior)
+  CsrMatrix ehat;   // Ê_ℓ (interior × packed interface columns)
+  CsrMatrix fhat;   // F̂_ℓ (packed interface rows × interior)
+  /// Global unknown of local interior index i.
+  std::vector<index_t> interior;
+  /// Separator-local index (0-based within the separator block) of each
+  /// packed column of Ê_ℓ / row of F̂_ℓ.
+  std::vector<index_t> e_cols;
+  std::vector<index_t> f_rows;
+};
+
+/// Extract subdomain ℓ from the ORIGINAL matrix given the DBBD partition.
+Subdomain extract_subdomain(const CsrMatrix& a, const DbbdPartition& p, index_t l);
+
+/// Extract the separator block C (separator × separator, separator-local
+/// numbering following the DBBD permutation order).
+CsrMatrix extract_separator_block(const CsrMatrix& a, const DbbdPartition& p);
+
+}  // namespace pdslin

@@ -1,0 +1,41 @@
+// Sparse LU factorization, Gilbert–Peierls left-looking algorithm with
+// threshold partial pivoting — the sequential stand-in for SuperLU in the
+// PDSLin pipeline (factors every interior subdomain D_ℓ and the sparsified
+// Schur complement S̃).
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace pdslin {
+
+struct LuOptions {
+  /// Threshold pivoting: keep the diagonal pivot when
+  /// |a_jj| ≥ pivot_tol · max|column|; otherwise take the largest entry.
+  /// 1.0 = classic partial pivoting, 0.0 = always diagonal (no pivoting).
+  double pivot_tol = 0.1;
+  /// Refuse pivots smaller than this in absolute value.
+  double min_pivot = 1e-300;
+};
+
+/// Factorization P·A = L·U with L unit lower triangular (unit diagonal
+/// stored explicitly) and U upper triangular. Row indices of both factors
+/// are pivot positions (i.e. the factors are those of the row-permuted
+/// matrix). row_perm[k] = original row that became pivot row k.
+struct LuFactors {
+  index_t n = 0;
+  CscMatrix lower;  // sorted columns, unit diagonal first in each column
+  CscMatrix upper;  // sorted columns, diagonal last in each column
+  std::vector<index_t> row_perm;
+  [[nodiscard]] long long fill_nnz() const { return lower.nnz() + upper.nnz(); }
+};
+
+/// Factorize a square CSC matrix. Throws pdslin::Error on a zero/degenerate
+/// pivot (structural or numerical singularity).
+LuFactors lu_factorize(const CscMatrix& a, const LuOptions& opt = {});
+
+/// Convenience overload for CSR input.
+LuFactors lu_factorize(const CsrMatrix& a, const LuOptions& opt = {});
+
+}  // namespace pdslin

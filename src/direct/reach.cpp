@@ -1,0 +1,43 @@
+#include "direct/reach.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace pdslin {
+
+ReachSolver::ReachSolver(const CscMatrix& l)
+    : l_(l), n_(l.cols), stamp_(l.cols, 0) {
+  PDSLIN_CHECK(l.rows == l.cols);
+}
+
+std::span<const index_t> ReachSolver::reach(std::span<const index_t> pattern) {
+  const index_t s = ++current_stamp_;
+  out_.clear();
+  for (index_t seed : pattern) {
+    PDSLIN_CHECK(seed >= 0 && seed < n_);
+    if (stamp_[seed] == s) continue;
+    // Iterative DFS from seed through the strictly-lower entries of L.
+    stack_.clear();
+    stack_.push_back(seed);
+    stamp_[seed] = s;
+    out_.push_back(seed);
+    while (!stack_.empty()) {
+      const index_t j = stack_.back();
+      stack_.pop_back();
+      for (index_t p = l_.col_ptr[j]; p < l_.col_ptr[j + 1]; ++p) {
+        const index_t i = l_.row_idx[p];
+        if (i > j && stamp_[i] != s) {
+          stamp_[i] = s;
+          out_.push_back(i);
+          stack_.push_back(i);
+        }
+      }
+    }
+  }
+  // Ascending order is topological for a lower-triangular dependency graph.
+  std::sort(out_.begin(), out_.end());
+  return out_;
+}
+
+}  // namespace pdslin

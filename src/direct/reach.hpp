@@ -1,0 +1,39 @@
+// Topological reach computation on a (lower) triangular CSC factor — the
+// symbolic core of every sparse-RHS triangular solve (Gilbert's theorem:
+// the pattern of L⁻¹b is the set of nodes reachable from pattern(b) in the
+// graph of L).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace pdslin {
+
+/// Workspace reused across many reach computations (one per RHS column).
+class ReachSolver {
+ public:
+  /// `l` must be lower triangular CSC with unit or explicit diagonal; only
+  /// entries strictly below the diagonal define the traversal edges
+  /// j → row for each row in col j, row > j.
+  explicit ReachSolver(const CscMatrix& l);
+
+  /// Compute the reach of the given pattern. The result is in topological
+  /// order (ascending works for lower triangular: we return indices sorted
+  /// ascending, which is a valid elimination order for L).
+  /// Returns a view valid until the next call.
+  std::span<const index_t> reach(std::span<const index_t> pattern);
+
+  [[nodiscard]] index_t n() const { return n_; }
+
+ private:
+  const CscMatrix& l_;
+  index_t n_;
+  std::vector<index_t> stamp_;
+  index_t current_stamp_ = 0;
+  std::vector<index_t> stack_;  // DFS worklist
+  std::vector<index_t> out_;
+};
+
+}  // namespace pdslin

@@ -1,0 +1,44 @@
+// Fundamental supernode detection.
+//
+// PDSLin's triangular solver is supernodal: consecutive factor columns with
+// identical below-diagonal structure are treated as one dense panel. The
+// paper's B-column RHS blocking (§IV) is the right-hand-side analogue of
+// this. This module detects fundamental supernodes from the elimination
+// tree and the factor column counts, and reports the panel statistics used
+// by the kernel ablations.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace pdslin {
+
+struct Supernodes {
+  /// Column ranges: supernode s spans columns [start[s], start[s+1]).
+  std::vector<index_t> start;  // size num + 1
+  [[nodiscard]] index_t count() const {
+    return static_cast<index_t>(start.size()) - 1;
+  }
+  [[nodiscard]] index_t width(index_t s) const { return start[s + 1] - start[s]; }
+  /// Column → supernode id.
+  std::vector<index_t> of_column;
+  /// Average panel width (1.0 = no supernodal structure at all).
+  [[nodiscard]] double average_width() const {
+    return count() == 0 ? 0.0
+                        : static_cast<double>(of_column.size()) /
+                              static_cast<double>(count());
+  }
+};
+
+/// Fundamental supernodes of a structurally symmetric matrix: column j+1
+/// joins column j's supernode iff parent(j) == j+1 and
+/// colcount(j+1) == colcount(j) − 1 (identical below-diagonal structure),
+/// with panel width capped at `max_width` (0 = unlimited).
+Supernodes fundamental_supernodes(const CsrMatrix& a, index_t max_width = 0);
+
+/// Supernodes detected directly on an explicit lower-triangular factor
+/// (CSC, diagonal first): exact structural comparison of adjacent columns.
+Supernodes supernodes_of_factor(const CscMatrix& l, index_t max_width = 0);
+
+}  // namespace pdslin

@@ -1,0 +1,54 @@
+#include "gen/cavity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/tet_fem.hpp"
+
+namespace pdslin {
+
+GeneratedProblem generate_tdr(double scale, std::uint64_t seed, const char* name) {
+  GridFemOptions opt;
+  const auto dim = static_cast<index_t>(std::lround(24.0 * std::cbrt(scale)));
+  opt.nx = opt.ny = opt.nz = std::max<index_t>(4, dim);
+  opt.dofs_per_node = 1;
+  opt.quadratic = false;
+  // Negative frequency shift: pushes a slice of the spectrum below zero,
+  // producing the highly-indefinite regime PDSLin targets.
+  opt.shift = 0.45;
+  opt.seed = seed;
+  GeneratedProblem p = generate_grid_fem(opt);
+  p.name = name;
+  p.source = "cavity";
+  return p;
+}
+
+GeneratedProblem generate_dds_quad(double scale, std::uint64_t seed) {
+  // 3D quadratic (10-node) tetrahedra: ~40 nnz/row, the dds.quad profile.
+  TetFemOptions opt;
+  const auto dim = static_cast<index_t>(std::lround(11.0 * std::cbrt(scale)));
+  opt.nx = opt.ny = opt.nz = std::max<index_t>(3, dim);
+  opt.quadratic = true;
+  opt.shift = 0.3;
+  opt.seed = seed;
+  GeneratedProblem p = generate_tet_fem(opt);
+  p.name = "dds.quad";
+  p.source = "cavity";
+  return p;
+}
+
+GeneratedProblem generate_dds_linear(double scale, std::uint64_t seed) {
+  // 3D linear tetrahedra: ~15 nnz/row, the dds.linear profile.
+  TetFemOptions opt;
+  const auto dim = static_cast<index_t>(std::lround(28.0 * std::cbrt(scale)));
+  opt.nx = opt.ny = opt.nz = std::max<index_t>(3, dim);
+  opt.quadratic = false;
+  opt.shift = 0.3;
+  opt.seed = seed;
+  GeneratedProblem p = generate_tet_fem(opt);
+  p.name = "dds.linear";
+  p.source = "cavity";
+  return p;
+}
+
+}  // namespace pdslin

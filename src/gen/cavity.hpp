@@ -1,0 +1,26 @@
+// Accelerator-cavity analogues (Table I: tdr190k, tdr455k, dds.quad,
+// dds.linear — source "cavity").
+//
+// Substitution (see DESIGN.md §3): the real matrices come from Omega3P
+// cavity simulations and are not redistributable; these generators build
+// grid FEM operators with a negative frequency shift, matching the
+// published pattern symmetry, value symmetry, indefiniteness and nnz/row
+// profile at a laptop-tractable scale.
+#pragma once
+
+#include "gen/grid_fem.hpp"
+#include "gen/problem.hpp"
+
+namespace pdslin {
+
+/// tdr-family analogue: 3D linear elements, indefinite (shifted).
+/// `scale` multiplies the grid resolution (1.0 → n ≈ 14k).
+GeneratedProblem generate_tdr(double scale, std::uint64_t seed, const char* name);
+
+/// dds.quad analogue: 2D quadratic elements (dense rows), indefinite.
+GeneratedProblem generate_dds_quad(double scale, std::uint64_t seed);
+
+/// dds.linear analogue: 2D linear elements (sparse rows), indefinite.
+GeneratedProblem generate_dds_linear(double scale, std::uint64_t seed);
+
+}  // namespace pdslin

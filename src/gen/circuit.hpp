@@ -1,0 +1,25 @@
+// Circuit-simulation analogues — Table I's ASIC_680ks and G3_circuit
+// (source "circuit").
+//
+// Substitution: the originals are UF-collection matrices. ASIC_680ks is
+// extremely sparse (~2 nnz/row) and irregular with a handful of quasi-dense
+// power/ground nets; G3_circuit is an SPD circuit matrix (~5 nnz/row). The
+// analogues reproduce those degree profiles, the quasi-dense rows (which
+// drive the §V-B-c experiment and the dramatic RHB separator win on
+// ASIC_680ks), and the symmetry flags of Table I.
+#pragma once
+
+#include <cstdint>
+
+#include "gen/problem.hpp"
+
+namespace pdslin {
+
+/// ASIC-like: sparse irregular network + a few quasi-dense nets.
+/// Pattern-symmetric, value-unsymmetric, indefinite. scale 1.0 → n ≈ 40k.
+GeneratedProblem generate_asic(double scale, std::uint64_t seed);
+
+/// G3_circuit-like: SPD irregular grid Laplacian. scale 1.0 → n ≈ 40k.
+GeneratedProblem generate_g3_circuit(double scale, std::uint64_t seed);
+
+}  // namespace pdslin

@@ -1,0 +1,94 @@
+#include "gen/fem_assembly.hpp"
+
+#include <algorithm>
+
+#include "sparse/convert.hpp"
+#include "util/error.hpp"
+
+namespace pdslin {
+
+namespace {
+
+// Deterministic symmetric jitter per unordered dof pair (value symmetry
+// without a pair map).
+double pair_jitter(index_t i, index_t j, std::uint64_t seed, double magnitude) {
+  const std::uint64_t a = static_cast<std::uint64_t>(std::min(i, j));
+  const std::uint64_t b = static_cast<std::uint64_t>(std::max(i, j));
+  std::uint64_t x = (a * 0x9E3779B97F4A7C15ULL) ^ (b + seed);
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  const double u = static_cast<double>(x >> 11) * 0x1.0p-53;
+  return magnitude * (2.0 * u - 1.0);
+}
+
+}  // namespace
+
+GeneratedProblem assemble_fem(const std::vector<std::vector<index_t>>& elements,
+                              index_t num_nodes, const FemAssemblyOptions& opt) {
+  PDSLIN_CHECK(num_nodes >= 1 && opt.dofs_per_node >= 1);
+  const index_t d = opt.dofs_per_node;
+  const index_t n = num_nodes * d;
+
+  std::vector<char> touched(num_nodes, 0);
+  for (const auto& nodes : elements) {
+    for (index_t node : nodes) {
+      PDSLIN_CHECK(node >= 0 && node < num_nodes);
+      touched[node] = 1;
+    }
+  }
+  index_t isolated = 0;
+  for (index_t v = 0; v < num_nodes; ++v) isolated += touched[v] ? 0 : 1;
+
+  CooMatrix a_coo(n, n);
+  CooMatrix m_coo(static_cast<index_t>(elements.size()) + isolated * d, n);
+  index_t mrow = 0;
+  std::vector<index_t> dofs;
+  for (const auto& nodes : elements) {
+    dofs.clear();
+    for (index_t node : nodes) {
+      for (index_t k = 0; k < d; ++k) {
+        dofs.push_back(node * d + k);
+        m_coo.add(mrow, node * d + k, 1.0);
+      }
+    }
+    ++mrow;
+    const auto nd = static_cast<index_t>(dofs.size());
+    if (nd == 1) {
+      a_coo.add(dofs[0], dofs[0], 1.01);
+      continue;
+    }
+    const double off = 1.0 / static_cast<double>(nd - 1);
+    for (index_t i = 0; i < nd; ++i) {
+      a_coo.add(dofs[i], dofs[i], 1.01);  // slight dominance → SPD at shift 0
+      for (index_t j = 0; j < nd; ++j) {
+        if (i == j) continue;
+        const double jit =
+            pair_jitter(dofs[i], dofs[j], opt.seed, opt.jitter * off);
+        a_coo.add(dofs[i], dofs[j], -off + jit);
+      }
+    }
+  }
+  // Isolated nodes: diagonal unknowns + singleton incidence rows so MᵀM
+  // keeps the full diagonal.
+  for (index_t v = 0; v < num_nodes; ++v) {
+    if (touched[v]) continue;
+    for (index_t k = 0; k < d; ++k) {
+      a_coo.add(v * d + k, v * d + k, 1.0);
+      m_coo.add(mrow++, v * d + k, 1.0);
+    }
+  }
+  if (opt.shift != 0.0) {
+    for (index_t i = 0; i < n; ++i) a_coo.add(i, i, -opt.shift);
+  }
+
+  GeneratedProblem p;
+  p.a = coo_to_csr(a_coo);
+  p.incidence = coo_to_csr(m_coo);
+  p.pattern_symmetric = true;
+  p.value_symmetric = true;
+  p.positive_definite = (opt.shift == 0.0);
+  return p;
+}
+
+}  // namespace pdslin

@@ -1,0 +1,27 @@
+// Shared FEM assembly: given an element list (node sets), build the
+// assembled matrix A (Laplacian-like element cliques with deterministic
+// symmetric jitter and an optional indefiniteness shift) and the
+// element-dof incidence M with str(MᵀM) = str(A).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gen/problem.hpp"
+
+namespace pdslin {
+
+struct FemAssemblyOptions {
+  index_t dofs_per_node = 1;
+  double shift = 0.0;
+  double jitter = 0.05;
+  std::uint64_t seed = 12345;
+};
+
+/// `num_nodes` counts distinct node ids referenced by `elements`; the matrix
+/// has num_nodes · dofs_per_node unknowns. Nodes in no element become
+/// isolated diagonal unknowns with singleton incidence rows.
+GeneratedProblem assemble_fem(const std::vector<std::vector<index_t>>& elements,
+                              index_t num_nodes, const FemAssemblyOptions& opt);
+
+}  // namespace pdslin

@@ -1,0 +1,48 @@
+#include "gen/fusion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/grid_fem.hpp"
+#include "sparse/convert.hpp"
+#include "util/rng.hpp"
+
+namespace pdslin {
+
+GeneratedProblem generate_fusion(double scale, std::uint64_t seed) {
+  GridFemOptions opt;
+  const auto dim = static_cast<index_t>(std::lround(16.0 * std::cbrt(scale)));
+  opt.nx = opt.ny = opt.nz = std::max<index_t>(4, dim);
+  opt.dofs_per_node = 3;  // three coupled fields per node
+  opt.quadratic = false;
+  opt.shift = 0.35;
+  opt.seed = seed;
+  GeneratedProblem p = generate_grid_fem(opt);
+
+  // Break pattern symmetry: delete ~12% of strictly-upper off-diagonal
+  // entries (one-sided), emulating convection/anisotropy terms that only
+  // couple in one direction. The incidence M still covers the remaining
+  // pattern (str(MᵀM) ⊇ str(A)), which is all the partitioner requires.
+  Rng rng(seed ^ 0xF051ULL);
+  CsrMatrix pruned(p.a.rows, p.a.cols);
+  pruned.col_idx.reserve(p.a.col_idx.size());
+  pruned.values.reserve(p.a.values.size());
+  for (index_t i = 0; i < p.a.rows; ++i) {
+    for (index_t q = p.a.row_ptr[i]; q < p.a.row_ptr[i + 1]; ++q) {
+      const index_t j = p.a.col_idx[q];
+      if (j > i && rng.bernoulli(0.12)) continue;
+      pruned.col_idx.push_back(j);
+      pruned.values.push_back(p.a.values[q]);
+    }
+    pruned.row_ptr[i + 1] = static_cast<index_t>(pruned.col_idx.size());
+  }
+  p.a = std::move(pruned);
+  p.name = "matrix211";
+  p.source = "fusion";
+  p.pattern_symmetric = false;
+  p.value_symmetric = false;
+  p.positive_definite = false;
+  return p;
+}
+
+}  // namespace pdslin

@@ -1,0 +1,20 @@
+// Fusion (tokamak MHD) analogue — Table I's matrix211 (source "fusion").
+//
+// Substitution: matrix211 comes from the CEMM M3D code — multi-field 3D MHD
+// with an unsymmetric pattern and ~70 nnz/row. The analogue couples three
+// fields per grid node through full element cliques, then deletes a random
+// one-sided subset of off-diagonal entries to break pattern symmetry, which
+// also gives the characteristically sparser interfaces / low fill-ratio the
+// paper observes for this matrix (Fig. 4(d)).
+#pragma once
+
+#include <cstdint>
+
+#include "gen/problem.hpp"
+
+namespace pdslin {
+
+/// `scale` multiplies the grid resolution (1.0 → n ≈ 12k).
+GeneratedProblem generate_fusion(double scale, std::uint64_t seed);
+
+}  // namespace pdslin

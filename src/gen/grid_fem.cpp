@@ -1,0 +1,124 @@
+#include "gen/grid_fem.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "sparse/convert.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pdslin {
+
+namespace {
+
+// Deterministic symmetric jitter per unordered dof pair, so A stays exactly
+// value-symmetric without storing a pair map.
+double pair_jitter(index_t i, index_t j, std::uint64_t seed, double magnitude) {
+  const std::uint64_t a = static_cast<std::uint64_t>(std::min(i, j));
+  const std::uint64_t b = static_cast<std::uint64_t>(std::max(i, j));
+  std::uint64_t x = (a * 0x9E3779B97F4A7C15ULL) ^ (b + seed);
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  const double u = static_cast<double>(x >> 11) * 0x1.0p-53;  // [0, 1)
+  return magnitude * (2.0 * u - 1.0);
+}
+
+}  // namespace
+
+GeneratedProblem generate_grid_fem(const GridFemOptions& opt) {
+  PDSLIN_CHECK(opt.nx >= 2 && opt.ny >= 2 && opt.nz >= 1);
+  PDSLIN_CHECK(opt.dofs_per_node >= 1);
+  const index_t nx = opt.nx, ny = opt.ny, nz = opt.nz;
+  const index_t d = opt.dofs_per_node;
+  const index_t num_nodes = nx * ny * nz;
+  const index_t n = num_nodes * d;
+  const bool is3d = nz > 1;
+
+  auto node_id = [&](index_t x, index_t y, index_t z) {
+    return (z * ny + y) * nx + x;
+  };
+
+  // Enumerate elements as node patches. Linear: 2-wide corners of each cell.
+  // Quadratic: 3-wide patches with stride 2 (wider coupling).
+  std::vector<std::vector<index_t>> elements;
+  const index_t span = opt.quadratic ? 3 : 2;
+  const index_t stride = opt.quadratic ? 2 : 1;
+  const index_t zspan = is3d ? span : 1;
+  if (opt.quadratic) {
+    PDSLIN_CHECK_MSG(nx >= 3 && ny >= 3 && (!is3d || nz >= 3),
+                     "quadratic elements need at least 3 nodes per dimension");
+  }
+  // Patch start positions along one dimension: stride apart, with a final
+  // clamped patch so the tail nodes are always covered.
+  auto starts = [&](index_t dim) {
+    std::vector<index_t> s;
+    for (index_t x = 0; x + span <= dim; x += stride) s.push_back(x);
+    if (s.empty() || s.back() != dim - span) s.push_back(dim - span);
+    return s;
+  };
+  const std::vector<index_t> xs = starts(nx);
+  const std::vector<index_t> ys = starts(ny);
+  const std::vector<index_t> zs = is3d ? starts(nz) : std::vector<index_t>{0};
+  for (index_t zb : zs) {
+    for (index_t yb : ys) {
+      for (index_t xb : xs) {
+        std::vector<index_t> nodes;
+        nodes.reserve(static_cast<std::size_t>(span) * span * zspan);
+        for (index_t dz = 0; dz < zspan; ++dz) {
+          for (index_t dy = 0; dy < span; ++dy) {
+            for (index_t dx = 0; dx < span; ++dx) {
+              nodes.push_back(node_id(xb + dx, yb + dy, is3d ? zb + dz : 0));
+            }
+          }
+        }
+        std::sort(nodes.begin(), nodes.end());
+        elements.push_back(std::move(nodes));
+      }
+    }
+  }
+
+  // Incidence M: one row per element, columns are the element's dofs.
+  CooMatrix m_coo(static_cast<index_t>(elements.size()), n);
+  for (std::size_t e = 0; e < elements.size(); ++e) {
+    for (index_t node : elements[e]) {
+      for (index_t k = 0; k < d; ++k) {
+        m_coo.add(static_cast<index_t>(e), node * d + k, 1.0);
+      }
+    }
+  }
+
+  // Assembly: per element, a Laplacian-like clique. Row sums stay slightly
+  // positive (diagonal dominance ~ jitter), then the shift is subtracted.
+  CooMatrix a_coo(n, n);
+  for (const auto& nodes : elements) {
+    std::vector<index_t> dofs;
+    dofs.reserve(nodes.size() * d);
+    for (index_t node : nodes) {
+      for (index_t k = 0; k < d; ++k) dofs.push_back(node * d + k);
+    }
+    const auto nd = static_cast<index_t>(dofs.size());
+    const double off = 1.0 / static_cast<double>(nd - 1);
+    for (index_t i = 0; i < nd; ++i) {
+      a_coo.add(dofs[i], dofs[i], 1.01);  // slight dominance → SPD at shift 0
+      for (index_t j = 0; j < nd; ++j) {
+        if (i == j) continue;
+        const double jit = pair_jitter(dofs[i], dofs[j], opt.seed, opt.jitter * off);
+        a_coo.add(dofs[i], dofs[j], -off + jit);
+      }
+    }
+  }
+  if (opt.shift != 0.0) {
+    for (index_t i = 0; i < n; ++i) a_coo.add(i, i, -opt.shift);
+  }
+
+  GeneratedProblem p;
+  p.a = coo_to_csr(a_coo);
+  p.incidence = coo_to_csr(m_coo);
+  p.pattern_symmetric = true;
+  p.value_symmetric = true;
+  p.positive_definite = (opt.shift == 0.0);
+  return p;
+}
+
+}  // namespace pdslin

@@ -1,0 +1,33 @@
+// Finite-element-style matrix assembly on structured grids.
+//
+// These generators produce both the assembled sparse matrix A (a clique per
+// element) and the element-node incidence matrix M, which satisfies
+// str(MᵀM) = str(A) exactly — the structural factorization the RHB pipeline
+// requires (paper Eq. (11)) comes for free from the discretization, just as
+// it does for real FEM applications.
+#pragma once
+
+#include <cstdint>
+
+#include "gen/problem.hpp"
+
+namespace pdslin {
+
+struct GridFemOptions {
+  index_t nx = 8, ny = 8, nz = 1;  // vertices per dimension (nz == 1 → 2D)
+  index_t dofs_per_node = 1;
+  /// Quadratic elements: 2-cell-wide elements (wider coupling, denser rows).
+  bool quadratic = false;
+  /// Diagonal shift σ: A = K − σ·I. Large enough σ makes A indefinite, which
+  /// is the regime PDSLin targets.
+  double shift = 0.0;
+  /// Relative magnitude of random symmetric perturbation on off-diagonals.
+  double jitter = 0.05;
+  std::uint64_t seed = 12345;
+};
+
+/// Assemble a scalar/vector Laplacian-like operator with full element
+/// cliques. Pattern- and value-symmetric; SPD iff shift == 0.
+GeneratedProblem generate_grid_fem(const GridFemOptions& opt);
+
+}  // namespace pdslin

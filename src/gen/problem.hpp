@@ -1,0 +1,25 @@
+// Generated test problem: the assembled matrix plus the structural factor M
+// with str(MᵀM) ⊇ str(A) that the hypergraph partitioning pipeline consumes
+// (paper Eq. (11)).
+#pragma once
+
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace pdslin {
+
+struct GeneratedProblem {
+  std::string name;
+  std::string source;  // "cavity", "fusion", "circuit" — Table I's "source"
+  CsrMatrix a;
+  /// Element/clique incidence matrix M (rows = elements/cliques, columns =
+  /// unknowns). Empty (rows == 0) when the generator has no natural M; the
+  /// pipeline then falls back to the greedy clique cover.
+  CsrMatrix incidence;
+  bool pattern_symmetric = true;
+  bool value_symmetric = true;
+  bool positive_definite = false;
+};
+
+}  // namespace pdslin

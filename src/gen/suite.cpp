@@ -1,0 +1,27 @@
+#include "gen/suite.hpp"
+
+#include "gen/cavity.hpp"
+#include "gen/circuit.hpp"
+#include "gen/fusion.hpp"
+#include "util/error.hpp"
+
+namespace pdslin {
+
+std::vector<std::string> suite_names() {
+  return {"tdr190k",   "tdr455k",    "dds.quad",  "dds.linear",
+          "matrix211", "ASIC_680ks", "G3_circuit"};
+}
+
+GeneratedProblem make_suite_matrix(const std::string& name, double scale,
+                                   std::uint64_t seed) {
+  if (name == "tdr190k") return generate_tdr(scale, seed, "tdr190k");
+  if (name == "tdr455k") return generate_tdr(2.0 * scale, seed + 1, "tdr455k");
+  if (name == "dds.quad") return generate_dds_quad(scale, seed + 2);
+  if (name == "dds.linear") return generate_dds_linear(scale, seed + 3);
+  if (name == "matrix211") return generate_fusion(scale, seed + 4);
+  if (name == "ASIC_680ks") return generate_asic(scale, seed + 5);
+  if (name == "G3_circuit") return generate_g3_circuit(scale, seed + 6);
+  throw Error("unknown suite matrix: " + name);
+}
+
+}  // namespace pdslin

@@ -1,0 +1,82 @@
+#include "gen/tet_fem.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "gen/fem_assembly.hpp"
+#include "util/error.hpp"
+
+namespace pdslin {
+
+namespace {
+
+// Five-tetrahedra decomposition of the unit cube, corner coordinates in
+// {0,1}³. The first four share the "even" diagonal tet in the middle.
+constexpr std::array<std::array<std::array<index_t, 3>, 4>, 5> kTets = {{
+    {{{0, 0, 0}, {1, 1, 0}, {1, 0, 1}, {0, 1, 1}}},  // central tet
+    {{{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {1, 0, 1}}},
+    {{{0, 0, 0}, {0, 1, 0}, {1, 1, 0}, {0, 1, 1}}},
+    {{{0, 0, 0}, {0, 0, 1}, {1, 0, 1}, {0, 1, 1}}},
+    {{{1, 1, 1}, {1, 1, 0}, {1, 0, 1}, {0, 1, 1}}},
+}};
+
+}  // namespace
+
+GeneratedProblem generate_tet_fem(const TetFemOptions& opt) {
+  PDSLIN_CHECK(opt.nx >= 2 && opt.ny >= 2 && opt.nz >= 2);
+  const index_t nx = opt.nx, ny = opt.ny, nz = opt.nz;
+
+  // All node coordinates live on the doubled grid so tet-edge midpoints are
+  // integral; linear elements only ever touch even coordinates.
+  const index_t gx = 2 * nx - 1, gy = 2 * ny - 1, gz = 2 * nz - 1;
+  std::vector<index_t> id_of(static_cast<std::size_t>(gx) * gy * gz, -1);
+  index_t next_id = 0;
+  auto node_at = [&](index_t x, index_t y, index_t z) {
+    const std::size_t key =
+        (static_cast<std::size_t>(z) * gy + y) * gx + x;
+    if (id_of[key] < 0) id_of[key] = next_id++;
+    return id_of[key];
+  };
+
+  std::vector<std::vector<index_t>> elements;
+  elements.reserve(static_cast<std::size_t>(nx - 1) * (ny - 1) * (nz - 1) * 5);
+  std::array<std::array<index_t, 3>, 4> corner;  // doubled coordinates
+  for (index_t cz = 0; cz + 1 < nz; ++cz) {
+    for (index_t cy = 0; cy + 1 < ny; ++cy) {
+      for (index_t cx = 0; cx + 1 < nx; ++cx) {
+        // Mirror odd-parity cells along x so faces between cells conform.
+        const bool mirror = ((cx + cy + cz) & 1) != 0;
+        for (const auto& tet : kTets) {
+          std::vector<index_t> nodes;
+          nodes.reserve(opt.quadratic ? 10 : 4);
+          for (int v = 0; v < 4; ++v) {
+            const index_t lx = mirror ? 1 - tet[v][0] : tet[v][0];
+            corner[v] = {2 * (cx + lx), 2 * (cy + tet[v][1]),
+                         2 * (cz + tet[v][2])};
+            nodes.push_back(node_at(corner[v][0], corner[v][1], corner[v][2]));
+          }
+          if (opt.quadratic) {
+            for (int a = 0; a < 4; ++a) {
+              for (int b = a + 1; b < 4; ++b) {
+                nodes.push_back(node_at((corner[a][0] + corner[b][0]) / 2,
+                                        (corner[a][1] + corner[b][1]) / 2,
+                                        (corner[a][2] + corner[b][2]) / 2));
+              }
+            }
+          }
+          std::sort(nodes.begin(), nodes.end());
+          elements.push_back(std::move(nodes));
+        }
+      }
+    }
+  }
+
+  FemAssemblyOptions aopt;
+  aopt.dofs_per_node = 1;
+  aopt.shift = opt.shift;
+  aopt.jitter = opt.jitter;
+  aopt.seed = opt.seed;
+  return assemble_fem(elements, next_id, aopt);
+}
+
+}  // namespace pdslin

@@ -1,0 +1,25 @@
+// Tetrahedral FEM generators on structured grids.
+//
+// Each hex cell is split into five tetrahedra (parity-mirrored so shared
+// faces conform). Linear elements give ~15 nonzeros/row; quadratic (10-node)
+// elements add edge-midpoint nodes and give ~40 nonzeros/row — matching the
+// dds.linear / dds.quad profiles of the paper's Table I.
+#pragma once
+
+#include <cstdint>
+
+#include "gen/problem.hpp"
+
+namespace pdslin {
+
+struct TetFemOptions {
+  index_t nx = 8, ny = 8, nz = 8;  // grid vertices per dimension (≥ 2)
+  bool quadratic = false;          // 10-node tets (edge midpoints)
+  double shift = 0.0;
+  double jitter = 0.05;
+  std::uint64_t seed = 12345;
+};
+
+GeneratedProblem generate_tet_fem(const TetFemOptions& opt);
+
+}  // namespace pdslin

@@ -1,0 +1,196 @@
+#include "graph/bisect.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "graph/matching.hpp"
+#include "util/error.hpp"
+
+namespace pdslin {
+
+namespace {
+
+long long side_weight(const Graph& g, const std::vector<signed char>& side,
+                      int which) {
+  long long w = 0;
+  for (index_t v = 0; v < g.n; ++v) {
+    if (side[v] == which) w += g.vwgt[v];
+  }
+  return w;
+}
+
+// Grow side 0 by BFS from a seed until it holds roughly half of the total
+// vertex weight; everything else is side 1.
+GraphBisection grow_initial(const Graph& g, index_t seed_vertex) {
+  GraphBisection b;
+  b.side.assign(g.n, 1);
+  const long long total = g.total_vertex_weight();
+  const long long half = total / 2;
+
+  std::queue<index_t> q;
+  std::vector<bool> visited(g.n, false);
+  long long w0 = 0;
+  q.push(seed_vertex);
+  visited[seed_vertex] = true;
+  index_t scan = 0;  // fallback scan position for disconnected graphs
+  while (w0 < half) {
+    if (q.empty()) {
+      while (scan < g.n && visited[scan]) ++scan;
+      if (scan >= g.n) break;
+      visited[scan] = true;
+      q.push(scan);
+    }
+    const index_t v = q.front();
+    q.pop();
+    if (w0 + g.vwgt[v] > half && w0 > 0) continue;  // skip overweight vertex
+    b.side[v] = 0;
+    w0 += g.vwgt[v];
+    for (index_t p = g.adj_ptr[v]; p < g.adj_ptr[v + 1]; ++p) {
+      const index_t u = g.adj[p];
+      if (!visited[u]) {
+        visited[u] = true;
+        q.push(u);
+      }
+    }
+  }
+  b.weight[0] = w0;
+  b.weight[1] = total - w0;
+  b.cut = edge_cut(g, b.side);
+  return b;
+}
+
+}  // namespace
+
+void fm_refine_graph(const Graph& g, GraphBisection& b, double epsilon,
+                     int passes, Rng& rng) {
+  const long long total = g.total_vertex_weight();
+  const auto max_side =
+      static_cast<long long>((1.0 + epsilon) * static_cast<double>(total) / 2.0);
+
+  // gain[v] = (external cut weight) - (internal weight): cut reduction if v
+  // moves to the other side.
+  std::vector<long long> gain(g.n);
+  auto compute_gain = [&](index_t v) {
+    long long ext = 0, in = 0;
+    for (index_t p = g.adj_ptr[v]; p < g.adj_ptr[v + 1]; ++p) {
+      if (b.side[g.adj[p]] != b.side[v]) {
+        ext += g.ewgt[p];
+      } else {
+        in += g.ewgt[p];
+      }
+    }
+    return ext - in;
+  };
+
+  using HeapItem = std::pair<long long, index_t>;  // (gain, vertex)
+  std::vector<index_t> stamp(g.n, 0);  // lazy-deletion validity stamp
+
+  for (int pass = 0; pass < passes; ++pass) {
+    for (index_t v = 0; v < g.n; ++v) gain[v] = compute_gain(v);
+    std::priority_queue<HeapItem> heap;
+    for (index_t v = 0; v < g.n; ++v) {
+      // Random epsilon jitter in tie order comes from heap insert order.
+      heap.emplace(gain[v], v);
+      stamp[v] = pass * 2;
+    }
+    std::vector<bool> locked(g.n, false);
+
+    long long cur_cut = b.cut;
+    long long best_cut = b.cut;
+    long long w0 = b.weight[0], w1 = b.weight[1];
+    std::vector<index_t> moves;
+    moves.reserve(g.n);
+    index_t best_prefix = 0;
+
+    while (!heap.empty()) {
+      const auto [gval, v] = heap.top();
+      heap.pop();
+      if (locked[v] || gval != gain[v]) continue;  // stale entry
+      // Balance feasibility of moving v to the other side.
+      const long long wv = g.vwgt[v];
+      const long long nw = (b.side[v] == 0) ? w1 + wv : w0 + wv;
+      if (nw > max_side) continue;
+
+      // Apply the move.
+      locked[v] = true;
+      moves.push_back(v);
+      cur_cut -= gval;
+      if (b.side[v] == 0) {
+        w0 -= wv;
+        w1 += wv;
+        b.side[v] = 1;
+      } else {
+        w1 -= wv;
+        w0 += wv;
+        b.side[v] = 0;
+      }
+      for (index_t p = g.adj_ptr[v]; p < g.adj_ptr[v + 1]; ++p) {
+        const index_t u = g.adj[p];
+        if (locked[u]) continue;
+        gain[u] = compute_gain(u);
+        heap.emplace(gain[u], u);
+      }
+      gain[v] = -gval;
+      if (cur_cut < best_cut) {
+        best_cut = cur_cut;
+        best_prefix = static_cast<index_t>(moves.size());
+      }
+    }
+
+    // Roll back moves after the best prefix.
+    for (index_t i = static_cast<index_t>(moves.size()); i > best_prefix; --i) {
+      const index_t v = moves[i - 1];
+      b.side[v] = static_cast<signed char>(1 - b.side[v]);
+    }
+    b.weight[0] = side_weight(g, b.side, 0);
+    b.weight[1] = total - b.weight[0];
+    const long long new_cut = edge_cut(g, b.side);
+    const bool improved = new_cut < b.cut;
+    b.cut = new_cut;
+    if (!improved) break;
+    (void)rng;
+  }
+}
+
+GraphBisection bisect_graph(const Graph& g, const GraphBisectOptions& opt) {
+  PDSLIN_CHECK(g.n > 0);
+  Rng rng(opt.seed);
+
+  if (g.n <= opt.coarsen_to) {
+    GraphBisection best;
+    best.cut = std::numeric_limits<long long>::max();
+    for (int t = 0; t < std::max(1, opt.initial_tries); ++t) {
+      index_t seed_vertex = rng.index(g.n);
+      seed_vertex = pseudo_peripheral_vertex(g, seed_vertex);
+      GraphBisection b = grow_initial(g, seed_vertex);
+      fm_refine_graph(g, b, opt.epsilon, opt.refine_passes, rng);
+      if (b.cut < best.cut) best = std::move(b);
+    }
+    return best;
+  }
+
+  // Coarsen one level; stop if matching degenerates (little shrinkage).
+  const std::vector<index_t> match = heavy_edge_matching(g, rng);
+  Coarsening c = contract(g, match);
+  if (c.coarse.n > g.n * 9 / 10) {
+    GraphBisectOptions leaf = opt;
+    leaf.coarsen_to = g.n;  // force base case
+    return bisect_graph(g, leaf);
+  }
+  GraphBisectOptions sub = opt;
+  sub.seed = rng.next();
+  GraphBisection coarse_b = bisect_graph(c.coarse, sub);
+
+  // Project to the fine graph and refine.
+  GraphBisection b;
+  b.side.resize(g.n);
+  for (index_t v = 0; v < g.n; ++v) b.side[v] = coarse_b.side[c.map[v]];
+  b.weight[0] = side_weight(g, b.side, 0);
+  b.weight[1] = g.total_vertex_weight() - b.weight[0];
+  b.cut = edge_cut(g, b.side);
+  fm_refine_graph(g, b, opt.epsilon, opt.refine_passes, rng);
+  return b;
+}
+
+}  // namespace pdslin

@@ -1,0 +1,41 @@
+// Multilevel graph bisection: heavy-edge coarsening, BFS region-growing
+// initial partition, and Fiduccia–Mattheyses refinement at every level.
+// This is the engine inside the nested-dissection baseline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace pdslin {
+
+struct GraphBisectOptions {
+  /// Allowed imbalance: each side's weight must stay within
+  /// (1 + epsilon) * W/2.
+  double epsilon = 0.05;
+  /// Stop coarsening when the graph has at most this many vertices.
+  index_t coarsen_to = 120;
+  /// FM passes per level.
+  int refine_passes = 6;
+  /// Initial-partition attempts on the coarsest graph.
+  int initial_tries = 4;
+  std::uint64_t seed = 1;
+};
+
+struct GraphBisection {
+  std::vector<signed char> side;  // 0 or 1 per vertex
+  long long cut = 0;
+  long long weight[2] = {0, 0};
+};
+
+/// Bisect g minimizing edge cut subject to the balance constraint.
+GraphBisection bisect_graph(const Graph& g, const GraphBisectOptions& opt);
+
+/// One FM refinement sweep on an existing bisection; updates side/cut/weight
+/// in place. Exposed for testing and for separator smoothing.
+void fm_refine_graph(const Graph& g, GraphBisection& b, double epsilon,
+                     int passes, Rng& rng);
+
+}  // namespace pdslin

@@ -1,0 +1,104 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace pdslin {
+
+long long Graph::total_vertex_weight() const {
+  long long sum = 0;
+  for (index_t w : vwgt) sum += w;
+  return sum;
+}
+
+void Graph::validate() const {
+  PDSLIN_CHECK(adj_ptr.size() == static_cast<std::size_t>(n) + 1);
+  PDSLIN_CHECK(vwgt.size() == static_cast<std::size_t>(n));
+  PDSLIN_CHECK(ewgt.size() == adj.size());
+  PDSLIN_CHECK(adj_ptr.front() == 0);
+  PDSLIN_CHECK(static_cast<std::size_t>(adj_ptr[n]) == adj.size());
+  for (index_t v = 0; v < n; ++v) {
+    PDSLIN_CHECK(adj_ptr[v] <= adj_ptr[v + 1]);
+    for (index_t p = adj_ptr[v]; p < adj_ptr[v + 1]; ++p) {
+      const index_t u = adj[p];
+      PDSLIN_CHECK_MSG(u >= 0 && u < n && u != v, "bad adjacency entry");
+    }
+  }
+}
+
+Graph graph_from_matrix(const CsrMatrix& a) {
+  PDSLIN_CHECK_MSG(a.rows == a.cols, "graph requires a square matrix");
+  Graph g;
+  g.n = a.rows;
+  g.adj_ptr.assign(g.n + 1, 0);
+  for (index_t i = 0; i < a.rows; ++i) {
+    for (index_t p = a.row_ptr[i]; p < a.row_ptr[i + 1]; ++p) {
+      if (a.col_idx[p] != i) ++g.adj_ptr[i + 1];
+    }
+  }
+  for (index_t i = 0; i < g.n; ++i) g.adj_ptr[i + 1] += g.adj_ptr[i];
+  g.adj.resize(g.adj_ptr[g.n]);
+  std::vector<index_t> next(g.adj_ptr.begin(), g.adj_ptr.end() - 1);
+  for (index_t i = 0; i < a.rows; ++i) {
+    for (index_t p = a.row_ptr[i]; p < a.row_ptr[i + 1]; ++p) {
+      const index_t j = a.col_idx[p];
+      if (j != i) g.adj[next[i]++] = j;
+    }
+  }
+  g.vwgt.assign(g.n, 1);
+  g.ewgt.assign(g.adj.size(), 1);
+  return g;
+}
+
+long long edge_cut(const Graph& g, const std::vector<signed char>& side) {
+  PDSLIN_CHECK(side.size() == static_cast<std::size_t>(g.n));
+  long long cut = 0;
+  for (index_t v = 0; v < g.n; ++v) {
+    for (index_t p = g.adj_ptr[v]; p < g.adj_ptr[v + 1]; ++p) {
+      const index_t u = g.adj[p];
+      if (u > v && side[u] != side[v]) cut += g.ewgt[p];
+    }
+  }
+  return cut;
+}
+
+BfsResult bfs_levels(const Graph& g, index_t seed) {
+  PDSLIN_CHECK(seed >= 0 && seed < g.n);
+  BfsResult r;
+  r.level.assign(g.n, -1);
+  std::queue<index_t> q;
+  q.push(seed);
+  r.level[seed] = 0;
+  r.farthest = seed;
+  while (!q.empty()) {
+    const index_t v = q.front();
+    q.pop();
+    for (index_t p = g.adj_ptr[v]; p < g.adj_ptr[v + 1]; ++p) {
+      const index_t u = g.adj[p];
+      if (r.level[u] < 0) {
+        r.level[u] = r.level[v] + 1;
+        if (r.level[u] >= r.level[r.farthest]) r.farthest = u;
+        q.push(u);
+      }
+    }
+  }
+  r.num_levels = r.level[r.farthest] + 1;
+  return r;
+}
+
+index_t pseudo_peripheral_vertex(const Graph& g, index_t seed) {
+  index_t v = seed;
+  index_t ecc = -1;
+  for (int iter = 0; iter < 8; ++iter) {  // bounded; converges in 2-4 steps
+    const BfsResult r = bfs_levels(g, v);
+    const index_t new_ecc = r.num_levels - 1;
+    if (new_ecc <= ecc) break;
+    ecc = new_ecc;
+    v = r.farthest;
+  }
+  return v;
+}
+
+}  // namespace pdslin

@@ -1,0 +1,97 @@
+#include "graph/matching.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace pdslin {
+
+std::vector<index_t> heavy_edge_matching(const Graph& g, Rng& rng) {
+  std::vector<index_t> order(g.n);
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  std::vector<index_t> match(g.n, -1);
+  for (index_t v : order) {
+    if (match[v] >= 0) continue;
+    index_t best = -1;
+    index_t best_w = -1;
+    for (index_t p = g.adj_ptr[v]; p < g.adj_ptr[v + 1]; ++p) {
+      const index_t u = g.adj[p];
+      if (match[u] >= 0) continue;
+      if (g.ewgt[p] > best_w) {
+        best_w = g.ewgt[p];
+        best = u;
+      }
+    }
+    if (best >= 0) {
+      match[v] = best;
+      match[best] = v;
+    } else {
+      match[v] = v;
+    }
+  }
+  return match;
+}
+
+Coarsening contract(const Graph& g, const std::vector<index_t>& match) {
+  PDSLIN_CHECK(match.size() == static_cast<std::size_t>(g.n));
+  Coarsening c;
+  c.map.assign(g.n, -1);
+
+  // Number coarse vertices: one per matched pair / singleton, numbered by the
+  // lower endpoint's visit order for determinism.
+  index_t nc = 0;
+  for (index_t v = 0; v < g.n; ++v) {
+    if (c.map[v] >= 0) continue;
+    const index_t u = match[v];
+    c.map[v] = nc;
+    if (u != v) c.map[u] = nc;
+    ++nc;
+  }
+
+  Graph& cg = c.coarse;
+  cg.n = nc;
+  cg.vwgt.assign(nc, 0);
+  for (index_t v = 0; v < g.n; ++v) cg.vwgt[c.map[v]] += g.vwgt[v];
+
+  // Merge adjacency with a per-coarse-vertex scatter buffer.
+  cg.adj_ptr.assign(nc + 1, 0);
+  std::vector<index_t> mark(nc, -1);
+  std::vector<index_t> nbr_weight(nc, 0);
+  std::vector<index_t> nbrs;
+  std::vector<index_t> all_adj;
+  std::vector<index_t> all_wgt;
+  for (index_t cv = 0, v = 0; v < g.n; ++v) {
+    if (c.map[v] != cv) continue;
+    // Gather neighbours of both fine endpoints mapped to cv.
+    nbrs.clear();
+    const index_t endpoints[2] = {v, match[v]};
+    for (index_t e = 0; e < (match[v] == v ? 1 : 2); ++e) {
+      const index_t fv = endpoints[e];
+      for (index_t p = g.adj_ptr[fv]; p < g.adj_ptr[fv + 1]; ++p) {
+        const index_t cu = c.map[g.adj[p]];
+        if (cu == cv) continue;  // contracted edge disappears
+        if (mark[cu] != cv) {
+          mark[cu] = cv;
+          nbr_weight[cu] = 0;
+          nbrs.push_back(cu);
+        }
+        nbr_weight[cu] += g.ewgt[p];
+      }
+    }
+    std::sort(nbrs.begin(), nbrs.end());
+    for (index_t cu : nbrs) {
+      all_adj.push_back(cu);
+      all_wgt.push_back(nbr_weight[cu]);
+    }
+    cg.adj_ptr[cv + 1] = static_cast<index_t>(all_adj.size());
+    ++cv;
+  }
+  cg.adj = std::move(all_adj);
+  cg.ewgt = std::move(all_wgt);
+  return c;
+}
+
+}  // namespace pdslin

@@ -1,0 +1,26 @@
+// Multilevel coarsening for the graph bisector: heavy-edge matching and
+// coarse-graph contraction.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace pdslin {
+
+/// Result of one coarsening step.
+struct Coarsening {
+  Graph coarse;
+  /// fine vertex → coarse vertex.
+  std::vector<index_t> map;
+};
+
+/// Heavy-edge matching: visit vertices in random order, match each unmatched
+/// vertex to its unmatched neighbour with the heaviest connecting edge.
+/// Returns match[v] = partner (or v itself if unmatched).
+std::vector<index_t> heavy_edge_matching(const Graph& g, Rng& rng);
+
+/// Contract matched pairs into a coarse graph: vertex weights sum, parallel
+/// edges merge with summed weights.
+Coarsening contract(const Graph& g, const std::vector<index_t>& match);
+
+}  // namespace pdslin

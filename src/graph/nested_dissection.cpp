@@ -1,0 +1,142 @@
+#include "graph/nested_dissection.hpp"
+
+#include <algorithm>
+
+#include "graph/bisect.hpp"
+#include "graph/separator.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pdslin {
+
+namespace {
+
+// Induced subgraph on the vertex list `verts`; `local_of` maps a global
+// vertex to its local index within the subgraph.
+Graph induced_subgraph(const Graph& g, const std::vector<index_t>& verts,
+                       std::vector<index_t>& local_of) {
+  Graph sub;
+  sub.n = static_cast<index_t>(verts.size());
+  for (std::size_t i = 0; i < verts.size(); ++i) {
+    local_of[verts[i]] = static_cast<index_t>(i);
+  }
+  sub.adj_ptr.assign(sub.n + 1, 0);
+  sub.vwgt.resize(sub.n);
+  for (index_t i = 0; i < sub.n; ++i) {
+    const index_t v = verts[i];
+    sub.vwgt[i] = g.vwgt[v];
+    for (index_t p = g.adj_ptr[v]; p < g.adj_ptr[v + 1]; ++p) {
+      const index_t lu = local_of[g.adj[p]];
+      if (lu >= 0) ++sub.adj_ptr[i + 1];
+    }
+  }
+  for (index_t i = 0; i < sub.n; ++i) sub.adj_ptr[i + 1] += sub.adj_ptr[i];
+  sub.adj.resize(sub.adj_ptr[sub.n]);
+  sub.ewgt.resize(sub.adj.size());
+  std::vector<index_t> next(sub.adj_ptr.begin(), sub.adj_ptr.end() - 1);
+  for (index_t i = 0; i < sub.n; ++i) {
+    const index_t v = verts[i];
+    for (index_t p = g.adj_ptr[v]; p < g.adj_ptr[v + 1]; ++p) {
+      const index_t lu = local_of[g.adj[p]];
+      if (lu >= 0) {
+        sub.adj[next[i]] = lu;
+        sub.ewgt[next[i]] = g.ewgt[p];
+        ++next[i];
+      }
+    }
+  }
+  return sub;
+}
+
+struct NdState {
+  const Graph* g = nullptr;
+  std::vector<index_t> part;       // output labels
+  std::vector<index_t> sep_order;  // separators in elimination order
+  std::vector<index_t> local_of;   // scratch: global → local (reset per call)
+  Rng rng{1};
+  double epsilon = 0.05;
+};
+
+// Recursively dissect the subgraph induced on `verts` into parts
+// [low, low + num_parts).
+void dissect(NdState& state, const std::vector<index_t>& verts,
+             index_t num_parts, index_t low) {
+  if (num_parts == 1 || verts.size() <= 1) {
+    for (index_t v : verts) state.part[v] = low;
+    return;
+  }
+  Graph sub = induced_subgraph(*state.g, verts, state.local_of);
+  // Reset the scratch map before any recursion reuses it.
+  auto reset_scratch = [&] {
+    for (index_t v : verts) state.local_of[v] = -1;
+  };
+
+  GraphBisectOptions opt;
+  opt.epsilon = state.epsilon;
+  opt.seed = state.rng.next();
+  const GraphBisection bis = bisect_graph(sub, opt);
+  const VertexSeparator sep = vertex_separator_from_bisection(sub, bis);
+  reset_scratch();
+
+  std::vector<index_t> left, right, sep_verts;
+  left.reserve(verts.size() / 2);
+  right.reserve(verts.size() / 2);
+  for (std::size_t i = 0; i < verts.size(); ++i) {
+    switch (sep.label[i]) {
+      case SepLabel::PartA: left.push_back(verts[i]); break;
+      case SepLabel::PartB: right.push_back(verts[i]); break;
+      case SepLabel::Separator:
+        state.part[verts[i]] = DissectionResult::kSeparator;
+        sep_verts.push_back(verts[i]);
+        break;
+    }
+  }
+  dissect(state, left, num_parts / 2, low);
+  dissect(state, right, num_parts / 2, low + num_parts / 2);
+  // Nested-dissection elimination order: this node's separator follows
+  // everything below it.
+  state.sep_order.insert(state.sep_order.end(), sep_verts.begin(),
+                         sep_verts.end());
+}
+
+}  // namespace
+
+DissectionResult nested_dissection(const Graph& g, const NgdOptions& opt) {
+  PDSLIN_CHECK_MSG(opt.num_parts >= 1 &&
+                       (opt.num_parts & (opt.num_parts - 1)) == 0,
+                   "num_parts must be a power of two");
+  NdState state;
+  state.g = &g;
+  state.part.assign(g.n, 0);
+  state.local_of.assign(g.n, -1);
+  state.rng = Rng(opt.seed);
+  state.epsilon = opt.epsilon;
+
+  std::vector<index_t> all(g.n);
+  for (index_t v = 0; v < g.n; ++v) all[v] = v;
+  dissect(state, all, opt.num_parts, 0);
+
+  DissectionResult r;
+  r.part = std::move(state.part);
+  r.separator_order = std::move(state.sep_order);
+  r.num_parts = opt.num_parts;
+  r.separator_size = static_cast<index_t>(
+      std::count(r.part.begin(), r.part.end(), DissectionResult::kSeparator));
+  PDSLIN_ASSERT(is_valid_dissection(g, r));
+  return r;
+}
+
+bool is_valid_dissection(const Graph& g, const DissectionResult& r) {
+  for (index_t v = 0; v < g.n; ++v) {
+    if (r.part[v] == DissectionResult::kSeparator) continue;
+    for (index_t p = g.adj_ptr[v]; p < g.adj_ptr[v + 1]; ++p) {
+      const index_t u = g.adj[p];
+      if (r.part[u] != DissectionResult::kSeparator && r.part[u] != r.part[v]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace pdslin

@@ -1,0 +1,43 @@
+#include "graph/rcm.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace pdslin {
+
+std::vector<index_t> rcm_ordering(const Graph& g) {
+  std::vector<index_t> order;
+  order.reserve(g.n);
+  std::vector<bool> visited(g.n, false);
+  std::vector<index_t> nbrs;
+
+  for (index_t start = 0; start < g.n; ++start) {
+    if (visited[start]) continue;
+    const index_t seed = pseudo_peripheral_vertex(g, start);
+    // Cuthill–McKee BFS with neighbours sorted by degree.
+    std::queue<index_t> q;
+    q.push(seed);
+    visited[seed] = true;
+    while (!q.empty()) {
+      const index_t v = q.front();
+      q.pop();
+      order.push_back(v);
+      nbrs.clear();
+      for (index_t p = g.adj_ptr[v]; p < g.adj_ptr[v + 1]; ++p) {
+        const index_t u = g.adj[p];
+        if (!visited[u]) {
+          visited[u] = true;
+          nbrs.push_back(u);
+        }
+      }
+      std::sort(nbrs.begin(), nbrs.end(), [&](index_t a, index_t b) {
+        return g.degree(a) < g.degree(b);
+      });
+      for (index_t u : nbrs) q.push(u);
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace pdslin

@@ -1,0 +1,16 @@
+// Reverse Cuthill–McKee ordering — bandwidth-reducing permutation used as a
+// cheap alternative subdomain ordering and in tests as a sanity baseline for
+// the minimum-degree ordering.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pdslin {
+
+/// RCM permutation: perm[new] = old. Handles disconnected graphs by
+/// restarting from a pseudo-peripheral vertex of each component.
+std::vector<index_t> rcm_ordering(const Graph& g);
+
+}  // namespace pdslin

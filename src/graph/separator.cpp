@@ -1,0 +1,102 @@
+#include "graph/separator.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace pdslin {
+
+VertexSeparator vertex_separator_from_bisection(const Graph& g,
+                                                const GraphBisection& b) {
+  VertexSeparator s;
+  s.label.resize(g.n);
+  for (index_t v = 0; v < g.n; ++v) {
+    s.label[v] = (b.side[v] == 0) ? SepLabel::PartA : SepLabel::PartB;
+  }
+
+  // Count, per vertex, how many incident edges are cut.
+  std::vector<index_t> cut_deg(g.n, 0);
+  for (index_t v = 0; v < g.n; ++v) {
+    for (index_t p = g.adj_ptr[v]; p < g.adj_ptr[v + 1]; ++p) {
+      if (b.side[g.adj[p]] != b.side[v]) ++cut_deg[v];
+    }
+  }
+
+  // Greedy vertex cover: repeatedly take the vertex covering the most
+  // still-uncovered cut edges (max-heap with lazy deletion).
+  using Item = std::pair<index_t, index_t>;  // (cut degree, vertex)
+  std::priority_queue<Item> heap;
+  for (index_t v = 0; v < g.n; ++v) {
+    if (cut_deg[v] > 0) heap.emplace(cut_deg[v], v);
+  }
+  while (!heap.empty()) {
+    const auto [deg, v] = heap.top();
+    heap.pop();
+    if (s.label[v] == SepLabel::Separator || deg != cut_deg[v] || deg == 0) {
+      continue;  // stale or already covered
+    }
+    s.label[v] = SepLabel::Separator;
+    // Removing v covers its cut edges: decrement opposite-side endpoints.
+    for (index_t p = g.adj_ptr[v]; p < g.adj_ptr[v + 1]; ++p) {
+      const index_t u = g.adj[p];
+      if (s.label[u] != SepLabel::Separator && b.side[u] != b.side[v]) {
+        if (--cut_deg[u] > 0) heap.emplace(cut_deg[u], u);
+      }
+    }
+    cut_deg[v] = 0;
+  }
+
+  // Part weights are maintained through the shrink pass so isolated
+  // separator vertices can rejoin the lighter part.
+  s.weight[0] = s.weight[1] = 0;
+  for (index_t v = 0; v < g.n; ++v) {
+    if (s.label[v] == SepLabel::PartA) s.weight[0] += g.vwgt[v];
+    if (s.label[v] == SepLabel::PartB) s.weight[1] += g.vwgt[v];
+  }
+
+  // Shrink pass: a separator vertex whose neighbourhood touches only one
+  // part (plus separator vertices) can rejoin that part.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (index_t v = 0; v < g.n; ++v) {
+      if (s.label[v] != SepLabel::Separator) continue;
+      bool touches_a = false, touches_b = false;
+      for (index_t p = g.adj_ptr[v]; p < g.adj_ptr[v + 1]; ++p) {
+        const SepLabel lu = s.label[g.adj[p]];
+        touches_a |= (lu == SepLabel::PartA);
+        touches_b |= (lu == SepLabel::PartB);
+      }
+      if (touches_a && touches_b) continue;
+      // Rejoin the only part it touches; isolated separator vertices rejoin
+      // the lighter part.
+      if (!touches_a && !touches_b) {
+        s.label[v] = (s.weight[0] <= s.weight[1]) ? SepLabel::PartA : SepLabel::PartB;
+      } else {
+        s.label[v] = touches_a ? SepLabel::PartA : SepLabel::PartB;
+      }
+      s.weight[s.label[v] == SepLabel::PartA ? 0 : 1] += g.vwgt[v];
+      changed = true;
+    }
+  }
+
+  s.separator_size = 0;
+  for (index_t v = 0; v < g.n; ++v) {
+    if (s.label[v] == SepLabel::Separator) ++s.separator_size;
+  }
+  PDSLIN_ASSERT(is_valid_separator(g, s));
+  return s;
+}
+
+bool is_valid_separator(const Graph& g, const VertexSeparator& s) {
+  for (index_t v = 0; v < g.n; ++v) {
+    if (s.label[v] != SepLabel::PartA) continue;
+    for (index_t p = g.adj_ptr[v]; p < g.adj_ptr[v + 1]; ++p) {
+      if (s.label[g.adj[p]] == SepLabel::PartB) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pdslin

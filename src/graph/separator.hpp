@@ -1,0 +1,32 @@
+// Vertex-separator extraction from an edge bisection.
+//
+// Nested graph dissection needs a vertex separator; we compute one from the
+// FM edge cut by covering every cut edge with a vertex (greedy minimum
+// vertex cover on the boundary), then locally shrinking it.
+#pragma once
+
+#include "graph/bisect.hpp"
+#include "graph/graph.hpp"
+
+namespace pdslin {
+
+/// Vertex labels after separator extraction.
+enum class SepLabel : signed char { PartA = 0, PartB = 1, Separator = 2 };
+
+struct VertexSeparator {
+  std::vector<SepLabel> label;   // size g.n
+  index_t separator_size = 0;
+  long long weight[2] = {0, 0};  // vertex weight of the two parts
+};
+
+/// Turn an edge bisection into a vertex separator: greedily cover all cut
+/// edges, preferring vertices that cover many cut edges; then try to move
+/// redundant separator vertices back into a part.
+VertexSeparator vertex_separator_from_bisection(const Graph& g,
+                                                const GraphBisection& b);
+
+/// Check the separator property: no edge joins a PartA vertex to a PartB
+/// vertex. Used by tests and the NGD driver in debug builds.
+bool is_valid_separator(const Graph& g, const VertexSeparator& s);
+
+}  // namespace pdslin

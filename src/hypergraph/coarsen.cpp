@@ -1,0 +1,125 @@
+#include "hypergraph/coarsen.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace pdslin {
+
+std::vector<index_t> heavy_connectivity_matching(const Hypergraph& h, Rng& rng) {
+  std::vector<index_t> order(h.num_vertices);
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  std::vector<index_t> match(h.num_vertices, -1);
+  // Scatter accumulator for connectivity scores.
+  std::vector<long long> score(h.num_vertices, 0);
+  std::vector<index_t> touched;
+
+  for (index_t v : order) {
+    if (match[v] >= 0) continue;
+    touched.clear();
+    for (index_t net : h.nets_of(v)) {
+      const auto pin_span = h.pins(net);
+      // Very large nets contribute little information and dominate cost;
+      // cap the scan as PaToH-style implementations do.
+      if (pin_span.size() > 512) continue;
+      const long long c = h.net_cost[net];
+      for (index_t u : pin_span) {
+        if (u == v || match[u] >= 0) continue;
+        if (score[u] == 0) touched.push_back(u);
+        score[u] += c;
+      }
+    }
+    index_t best = -1;
+    long long best_score = 0;
+    for (index_t u : touched) {
+      if (score[u] > best_score) {
+        best_score = score[u];
+        best = u;
+      }
+      score[u] = 0;
+    }
+    if (best >= 0) {
+      match[v] = best;
+      match[best] = v;
+    } else {
+      match[v] = v;
+    }
+  }
+  return match;
+}
+
+HgCoarsening contract(const Hypergraph& h, const std::vector<index_t>& match) {
+  PDSLIN_CHECK(match.size() == static_cast<std::size_t>(h.num_vertices));
+  HgCoarsening c;
+  c.map.assign(h.num_vertices, -1);
+  index_t nc = 0;
+  for (index_t v = 0; v < h.num_vertices; ++v) {
+    if (c.map[v] >= 0) continue;
+    c.map[v] = nc;
+    if (match[v] != v) c.map[match[v]] = nc;
+    ++nc;
+  }
+
+  Hypergraph& hc = c.coarse;
+  hc.num_vertices = nc;
+  hc.num_constraints = h.num_constraints;
+  hc.vwgt.assign(static_cast<std::size_t>(h.num_constraints) * nc, 0);
+  for (int cc = 0; cc < h.num_constraints; ++cc) {
+    const std::size_t fine_base = static_cast<std::size_t>(cc) * h.num_vertices;
+    const std::size_t coarse_base = static_cast<std::size_t>(cc) * nc;
+    for (index_t v = 0; v < h.num_vertices; ++v) {
+      hc.vwgt[coarse_base + c.map[v]] += h.vwgt[fine_base + v];
+    }
+  }
+
+  // Remap pins, dedupe within net, drop single-pin nets, merge identical
+  // nets (hash of sorted pin list → net id).
+  std::vector<index_t> buf;
+  std::unordered_map<std::size_t, std::vector<index_t>> buckets;  // hash → net ids
+  hc.net_ptr.push_back(0);
+  for (index_t n = 0; n < h.num_nets; ++n) {
+    buf.clear();
+    for (index_t v : h.pins(n)) buf.push_back(c.map[v]);
+    std::sort(buf.begin(), buf.end());
+    buf.erase(std::unique(buf.begin(), buf.end()), buf.end());
+    if (buf.size() <= 1) continue;  // internal to a coarse vertex
+
+    std::size_t hash = buf.size();
+    for (index_t v : buf) {
+      hash ^= static_cast<std::size_t>(v) + 0x9E3779B97F4A7C15ULL +
+              (hash << 6) + (hash >> 2);
+    }
+    bool merged = false;
+    auto it = buckets.find(hash);
+    if (it != buckets.end()) {
+      for (index_t existing : it->second) {
+        const auto existing_pins = std::span<const index_t>(
+            hc.net_pins.data() + hc.net_ptr[existing],
+            static_cast<std::size_t>(hc.net_ptr[existing + 1] -
+                                     hc.net_ptr[existing]));
+        if (existing_pins.size() == buf.size() &&
+            std::equal(existing_pins.begin(), existing_pins.end(), buf.begin())) {
+          hc.net_cost[existing] += h.net_cost[n];
+          merged = true;
+          break;
+        }
+      }
+    }
+    if (!merged) {
+      const index_t id = static_cast<index_t>(hc.net_cost.size());
+      hc.net_pins.insert(hc.net_pins.end(), buf.begin(), buf.end());
+      hc.net_ptr.push_back(static_cast<index_t>(hc.net_pins.size()));
+      hc.net_cost.push_back(h.net_cost[n]);
+      buckets[hash].push_back(id);
+    }
+  }
+  hc.num_nets = static_cast<index_t>(hc.net_cost.size());
+  hc.build_vertex_lists();
+  return c;
+}
+
+}  // namespace pdslin

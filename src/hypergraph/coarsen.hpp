@@ -1,0 +1,25 @@
+// Multilevel hypergraph coarsening: heavy-connectivity matching and
+// contraction with identical-net merging.
+#pragma once
+
+#include "hypergraph/hypergraph.hpp"
+#include "util/rng.hpp"
+
+namespace pdslin {
+
+struct HgCoarsening {
+  Hypergraph coarse;
+  std::vector<index_t> map;  // fine vertex → coarse vertex
+};
+
+/// Heavy-connectivity matching: each unmatched vertex pairs with the
+/// unmatched vertex sharing the largest total net cost. match[v] = partner
+/// (v itself if unmatched).
+std::vector<index_t> heavy_connectivity_matching(const Hypergraph& h, Rng& rng);
+
+/// Contract matched pairs: vertex weights sum per constraint; pins are
+/// deduplicated; single-pin nets are dropped; identical nets are merged with
+/// summed costs (crucial for multilevel speed).
+HgCoarsening contract(const Hypergraph& h, const std::vector<index_t>& match);
+
+}  // namespace pdslin

@@ -1,0 +1,238 @@
+#include "hypergraph/fm.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace pdslin {
+
+BalanceWindow balance_window(const Hypergraph& h, const HgBalance& bal) {
+  PDSLIN_CHECK(bal.target0.size() == static_cast<std::size_t>(h.num_constraints));
+  PDSLIN_CHECK(bal.epsilon.size() == static_cast<std::size_t>(h.num_constraints));
+  BalanceWindow w;
+  w.lo.resize(h.num_constraints);
+  w.hi.resize(h.num_constraints);
+  for (int c = 0; c < h.num_constraints; ++c) {
+    const long long total = h.total_weight(c);
+    long long wmax = 0;
+    const std::size_t base = static_cast<std::size_t>(c) * h.num_vertices;
+    for (index_t v = 0; v < h.num_vertices; ++v) {
+      wmax = std::max(wmax, h.vwgt[base + v]);
+    }
+    const auto center =
+        static_cast<long long>(bal.target0[c] * static_cast<double>(total));
+    // Eq. (6): (Wmax − Wavg)/Wavg ≤ ε → per-side slack of ε·center; never
+    // tighter than one vertex or feasibility dies.
+    const long long slack = std::max<long long>(
+        static_cast<long long>(bal.epsilon[c] * static_cast<double>(center)), wmax);
+    w.lo[c] = std::max<long long>(0, center - slack);
+    w.hi[c] = std::min(total, center + slack);
+  }
+  return w;
+}
+
+bool is_balanced(const HgBisection& b, const BalanceWindow& w) {
+  for (std::size_t c = 0; c < w.lo.size(); ++c) {
+    if (b.weight[0][c] < w.lo[c] || b.weight[0][c] > w.hi[c]) return false;
+  }
+  return true;
+}
+
+namespace {
+
+long long violation(const HgBisection& b, const BalanceWindow& w) {
+  long long v = 0;
+  for (std::size_t c = 0; c < w.lo.size(); ++c) {
+    if (b.weight[0][c] < w.lo[c]) v += w.lo[c] - b.weight[0][c];
+    if (b.weight[0][c] > w.hi[c]) v += b.weight[0][c] - w.hi[c];
+  }
+  return v;
+}
+
+long long gain_of(const Hypergraph& h, const HgBisection& b, index_t v) {
+  const int s = b.side[v];
+  const int t = 1 - s;
+  long long g = 0;
+  for (index_t n : h.nets_of(v)) {
+    if (b.pin_count[t][n] == 0) {
+      if (b.pin_count[s][n] > 1) g -= h.net_cost[n];  // would become cut
+    } else if (b.pin_count[s][n] == 1) {
+      g += h.net_cost[n];  // would become uncut
+    }
+  }
+  return g;
+}
+
+// Feasibility of moving v given the window; when the current state is
+// infeasible, any move that strictly reduces the violation is allowed.
+bool move_allowed(const Hypergraph& h, const HgBisection& b,
+                  const BalanceWindow& w, index_t v, long long cur_violation) {
+  const int s = b.side[v];
+  long long new_violation = 0;
+  bool inside = true;
+  for (int c = 0; c < h.num_constraints; ++c) {
+    const long long wv = h.weight(c, v);
+    const long long w0 = b.weight[0][c] + (s == 0 ? -wv : wv);
+    if (w0 < w.lo[c]) {
+      new_violation += w.lo[c] - w0;
+      inside = false;
+    } else if (w0 > w.hi[c]) {
+      new_violation += w0 - w.hi[c];
+      inside = false;
+    }
+  }
+  if (inside) return true;
+  return new_violation < cur_violation;
+}
+
+}  // namespace
+
+namespace {
+
+// Dedicated balancing phase: while a constraint is outside its window, move
+// the cheapest (highest-gain) vertex off the overweight side. Runs before
+// FM so refinement starts from a feasible point instead of fighting the
+// balance with gain-ordered moves only.
+void rebalance(const Hypergraph& h, HgBisection& b, const BalanceWindow& w) {
+  long long cur = violation(b, w);
+  index_t moves_left = 2 * h.num_vertices;  // hard bound
+  while (cur > 0 && moves_left-- > 0) {
+    index_t best = -1;
+    long long best_gain = 0;
+    long long best_violation = cur;
+    for (index_t v = 0; v < h.num_vertices; ++v) {
+      // Quick screen: the move must strictly reduce the violation.
+      long long new_violation = 0;
+      const int s = b.side[v];
+      for (int c = 0; c < h.num_constraints; ++c) {
+        const long long wv = h.weight(c, v);
+        const long long w0 = b.weight[0][c] + (s == 0 ? -wv : wv);
+        if (w0 < w.lo[c]) new_violation += w.lo[c] - w0;
+        if (w0 > w.hi[c]) new_violation += w0 - w.hi[c];
+      }
+      if (new_violation >= cur) continue;
+      const long long g = gain_of(h, b, v);
+      if (best < 0 || new_violation < best_violation ||
+          (new_violation == best_violation && g > best_gain)) {
+        best = v;
+        best_gain = g;
+        best_violation = new_violation;
+      }
+    }
+    if (best < 0) break;  // no single move helps (conflicting constraints)
+    b.apply_move(h, best);
+    cur = best_violation;
+  }
+}
+
+}  // namespace
+
+int fm_refine(const Hypergraph& h, HgBisection& b, const BalanceWindow& w,
+              int max_passes, Rng& rng) {
+  if (h.num_vertices <= 1) return 0;
+  if (!is_balanced(b, w)) rebalance(h, b, w);
+
+  std::vector<long long> gain(h.num_vertices);
+  using HeapItem = std::pair<long long, index_t>;
+  int improving_passes = 0;
+
+  for (int pass = 0; pass < max_passes; ++pass) {
+    const bool pre_feasible = is_balanced(b, w);
+    const long long pre_cut = b.cut_cost;
+    const long long pre_viol = violation(b, w);
+    for (index_t v = 0; v < h.num_vertices; ++v) gain[v] = gain_of(h, b, v);
+    std::priority_queue<HeapItem> heap;
+    for (index_t v = 0; v < h.num_vertices; ++v) heap.emplace(gain[v], v);
+    std::vector<bool> locked(h.num_vertices, false);
+
+    // Track the best prefix lexicographically: feasible first, then cut,
+    // then violation (for the all-infeasible case).
+    struct Snapshot {
+      bool feasible;
+      long long cut;
+      long long viol;
+      index_t prefix;
+    };
+    long long cur_violation = violation(b, w);
+    Snapshot best{is_balanced(b, w), b.cut_cost, cur_violation, 0};
+    std::vector<index_t> moves;
+    moves.reserve(h.num_vertices);
+    std::vector<index_t> crossing;
+
+    long long negative_streak = 0;
+    // Abandon a pass after this much accumulated harm with no new best —
+    // bounds pass cost on adversarial inputs.
+    const long long patience = 2000;
+
+    while (!heap.empty()) {
+      const auto [gval, v] = heap.top();
+      heap.pop();
+      if (locked[v] || gval != gain[v]) continue;
+      if (!move_allowed(h, b, w, v, cur_violation)) continue;
+
+      // Nets whose cut status thresholds are crossed by this move; their
+      // pins need gain recomputation.
+      crossing.clear();
+      {
+        const int s = b.side[v];
+        const int t = 1 - s;
+        for (index_t n : h.nets_of(v)) {
+          if (b.pin_count[t][n] <= 1 || b.pin_count[s][n] <= 2) {
+            crossing.push_back(n);
+          }
+        }
+      }
+      locked[v] = true;
+      moves.push_back(v);
+      b.apply_move(h, v);
+      cur_violation = violation(b, w);
+      for (index_t n : crossing) {
+        for (index_t u : h.pins(n)) {
+          if (locked[u]) continue;
+          const long long g = gain_of(h, b, u);
+          if (g != gain[u]) {
+            gain[u] = g;
+            heap.emplace(g, u);
+          }
+        }
+      }
+      gain[v] = gain_of(h, b, v);
+
+      const bool feas = is_balanced(b, w);
+      const Snapshot cur{feas, b.cut_cost, cur_violation,
+                         static_cast<index_t>(moves.size())};
+      const bool better =
+          (cur.feasible && !best.feasible) ||
+          (cur.feasible == best.feasible &&
+           (cur.feasible ? cur.cut < best.cut : cur.viol < best.viol));
+      if (better) {
+        best = cur;
+        negative_streak = 0;
+      } else {
+        negative_streak += std::max<long long>(1, -gval);
+        if (negative_streak > patience) break;
+      }
+    }
+
+    // Roll back to the best prefix.
+    for (index_t i = static_cast<index_t>(moves.size()); i > best.prefix; --i) {
+      b.apply_move(h, moves[i - 1]);
+    }
+    const bool post_feasible = is_balanced(b, w);
+    const bool improved =
+        (post_feasible && !pre_feasible) ||
+        (post_feasible == pre_feasible &&
+         (post_feasible ? b.cut_cost < pre_cut : violation(b, w) < pre_viol));
+    if (improved) {
+      ++improving_passes;
+    } else {
+      break;
+    }
+    (void)rng;
+  }
+  return improving_passes;
+}
+
+}  // namespace pdslin

@@ -1,0 +1,130 @@
+#include "hypergraph/initial.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace pdslin {
+
+void HgBisection::rebuild(const Hypergraph& h) {
+  PDSLIN_CHECK(side.size() == static_cast<std::size_t>(h.num_vertices));
+  for (int s = 0; s < 2; ++s) {
+    pin_count[s].assign(h.num_nets, 0);
+    weight[s].assign(h.num_constraints, 0);
+  }
+  for (index_t n = 0; n < h.num_nets; ++n) {
+    for (index_t v : h.pins(n)) ++pin_count[side[v]][n];
+  }
+  for (int c = 0; c < h.num_constraints; ++c) {
+    const std::size_t base = static_cast<std::size_t>(c) * h.num_vertices;
+    for (index_t v = 0; v < h.num_vertices; ++v) {
+      weight[side[v]][c] += h.vwgt[base + v];
+    }
+  }
+  cut_cost = 0;
+  for (index_t n = 0; n < h.num_nets; ++n) {
+    if (pin_count[0][n] > 0 && pin_count[1][n] > 0) cut_cost += h.net_cost[n];
+  }
+}
+
+void HgBisection::apply_move(const Hypergraph& h, index_t v) {
+  const int s = side[v];
+  const int t = 1 - s;
+  for (index_t n : h.nets_of(v)) {
+    // Cut status changes only at the 0/1 pin-count boundaries.
+    if (pin_count[t][n] == 0) cut_cost += h.net_cost[n];        // becomes cut
+    --pin_count[s][n];
+    ++pin_count[t][n];
+    if (pin_count[s][n] == 0 && pin_count[t][n] > 1) {
+      cut_cost -= h.net_cost[n];  // became entirely side t
+    }
+    // Single-pin net special case: moving its only pin never cuts it.
+    if (pin_count[s][n] == 0 && pin_count[t][n] == 1) {
+      cut_cost -= h.net_cost[n];
+    }
+  }
+  for (int c = 0; c < h.num_constraints; ++c) {
+    const long long w = h.weight(c, v);
+    weight[s][c] -= w;
+    weight[t][c] += w;
+  }
+  side[v] = static_cast<signed char>(t);
+}
+
+long long cut_cost_of(const Hypergraph& h, const std::vector<signed char>& side) {
+  long long cut = 0;
+  for (index_t n = 0; n < h.num_nets; ++n) {
+    bool on0 = false, on1 = false;
+    for (index_t v : h.pins(n)) {
+      (side[v] == 0 ? on0 : on1) = true;
+      if (on0 && on1) break;
+    }
+    if (on0 && on1) cut += h.net_cost[n];
+  }
+  return cut;
+}
+
+HgBisection grow_bisection(const Hypergraph& h, double target0, Rng& rng) {
+  HgBisection b;
+  b.side.assign(h.num_vertices, 1);
+  const long long total = h.total_weight(0);
+  const auto target =
+      static_cast<long long>(target0 * static_cast<double>(total));
+
+  std::vector<bool> visited(h.num_vertices, false);
+  std::queue<index_t> q;
+  long long w0 = 0;
+  index_t scan = 0;
+  const index_t seed = h.num_vertices > 0 ? rng.index(h.num_vertices) : 0;
+  if (h.num_vertices > 0) {
+    q.push(seed);
+    visited[seed] = true;
+  }
+  while (w0 < target) {
+    if (q.empty()) {
+      while (scan < h.num_vertices && visited[scan]) ++scan;
+      if (scan >= h.num_vertices) break;
+      visited[scan] = true;
+      q.push(scan);
+    }
+    const index_t v = q.front();
+    q.pop();
+    b.side[v] = 0;
+    w0 += h.weight(0, v);
+    for (index_t n : h.nets_of(v)) {
+      const auto pin_span = h.pins(n);
+      if (pin_span.size() > 512) continue;  // skip huge nets when growing
+      for (index_t u : pin_span) {
+        if (!visited[u]) {
+          visited[u] = true;
+          q.push(u);
+        }
+      }
+    }
+  }
+  b.rebuild(h);
+  return b;
+}
+
+HgBisection random_bisection(const Hypergraph& h, double target0, Rng& rng) {
+  HgBisection b;
+  b.side.assign(h.num_vertices, 1);
+  std::vector<index_t> order(h.num_vertices);
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+  const long long total = h.total_weight(0);
+  const auto target =
+      static_cast<long long>(target0 * static_cast<double>(total));
+  long long w0 = 0;
+  for (index_t v : order) {
+    if (w0 >= target) break;
+    b.side[v] = 0;
+    w0 += h.weight(0, v);
+  }
+  b.rebuild(h);
+  return b;
+}
+
+}  // namespace pdslin

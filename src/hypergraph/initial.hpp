@@ -1,0 +1,18 @@
+// Initial bisection heuristics for the coarsest hypergraph.
+#pragma once
+
+#include "hypergraph/hypergraph.hpp"
+#include "hypergraph/partition_state.hpp"
+#include "util/rng.hpp"
+
+namespace pdslin {
+
+/// Greedy hypergraph growing: start side 0 from a random seed vertex, absorb
+/// net-neighbours breadth-first until side 0 reaches `target0` of the
+/// first-constraint weight. Remaining vertices are side 1.
+HgBisection grow_bisection(const Hypergraph& h, double target0, Rng& rng);
+
+/// Random balanced assignment (fallback / diversification).
+HgBisection random_bisection(const Hypergraph& h, double target0, Rng& rng);
+
+}  // namespace pdslin

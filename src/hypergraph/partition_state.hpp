@@ -1,0 +1,27 @@
+// Shared state for hypergraph bisection: side assignment, per-net pin counts
+// on each side, per-constraint side weights, and the weighted cut.
+#pragma once
+
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace pdslin {
+
+struct HgBisection {
+  std::vector<signed char> side;       // 0/1 per vertex
+  std::vector<index_t> pin_count[2];   // per net: pins on each side
+  std::vector<long long> weight[2];    // per constraint: side weight
+  long long cut_cost = 0;              // sum of costs of cut nets
+
+  /// Initialize counts/weights/cut from `side` (which must be filled).
+  void rebuild(const Hypergraph& h);
+
+  /// Move vertex v to the other side, updating all incremental state.
+  void apply_move(const Hypergraph& h, index_t v);
+};
+
+/// Recompute the weighted cut from scratch (test oracle).
+long long cut_cost_of(const Hypergraph& h, const std::vector<signed char>& side);
+
+}  // namespace pdslin

@@ -1,0 +1,136 @@
+#include "hypergraph/recursive.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pdslin {
+
+Hypergraph split_side(const Hypergraph& h, const std::vector<signed char>& side,
+                      int s, CutMetric metric, std::vector<index_t>& vertex_ids) {
+  Hypergraph sub;
+  sub.num_constraints = h.num_constraints;
+  std::vector<index_t> local(h.num_vertices, -1);
+  vertex_ids.clear();
+  for (index_t v = 0; v < h.num_vertices; ++v) {
+    if (side[v] == s) {
+      local[v] = static_cast<index_t>(vertex_ids.size());
+      vertex_ids.push_back(v);
+    }
+  }
+  sub.num_vertices = static_cast<index_t>(vertex_ids.size());
+  sub.vwgt.resize(static_cast<std::size_t>(sub.num_constraints) * sub.num_vertices);
+  for (int c = 0; c < sub.num_constraints; ++c) {
+    const std::size_t src = static_cast<std::size_t>(c) * h.num_vertices;
+    const std::size_t dst = static_cast<std::size_t>(c) * sub.num_vertices;
+    for (index_t i = 0; i < sub.num_vertices; ++i) {
+      sub.vwgt[dst + i] = h.vwgt[src + vertex_ids[i]];
+    }
+  }
+
+  sub.net_ptr.push_back(0);
+  std::vector<index_t> buf;
+  for (index_t n = 0; n < h.num_nets; ++n) {
+    buf.clear();
+    bool other_side = false;
+    for (index_t v : h.pins(n)) {
+      if (side[v] == s) {
+        buf.push_back(local[v]);
+      } else {
+        other_side = true;
+      }
+    }
+    if (buf.size() < 2) continue;  // can never be cut again
+    index_t cost = h.net_cost[n];
+    if (other_side) {
+      // Cut net: policy depends on the metric.
+      if (metric == CutMetric::CutNet) continue;       // net discarding
+      if (metric == CutMetric::Soed) cost = (cost + 1) / 2;  // cost halving
+      // con1: split with unchanged (unit) cost.
+    }
+    sub.net_pins.insert(sub.net_pins.end(), buf.begin(), buf.end());
+    sub.net_ptr.push_back(static_cast<index_t>(sub.net_pins.size()));
+    sub.net_cost.push_back(cost);
+  }
+  sub.num_nets = static_cast<index_t>(sub.net_cost.size());
+  sub.build_vertex_lists();
+  return sub;
+}
+
+namespace {
+
+struct RecState {
+  const HgPartitionOptions* opt = nullptr;
+  std::vector<index_t> part;  // final labels, indexed by original vertex id
+  Rng rng{1};
+};
+
+// Partition the (sub-)hypergraph `h`, whose vertex i is original vertex
+// ids[i], into parts [low, low+k).
+void recurse(RecState& st, const Hypergraph& h, const std::vector<index_t>& ids,
+             index_t k, index_t low) {
+  if (k == 1 || h.num_vertices == 0) {
+    for (index_t v : ids) st.part[v] = low;
+    return;
+  }
+  const index_t k0 = k / 2;
+  const index_t k1 = k - k0;
+
+  double target0 = static_cast<double>(k0) / static_cast<double>(k);
+  if (!st.opt->part_targets.empty()) {
+    long long t0 = 0, total = 0;
+    for (index_t p = 0; p < k; ++p) {
+      const long long t = st.opt->part_targets[low + p];
+      total += t;
+      if (p < k0) t0 += t;
+    }
+    if (total > 0) target0 = static_cast<double>(t0) / static_cast<double>(total);
+  }
+
+  HgBisectOptions bopt;
+  bopt.target0.assign(h.num_constraints, target0);
+  bopt.epsilon.assign(h.num_constraints, st.opt->epsilon);
+  bopt.coarsen_to = st.opt->coarsen_to;
+  bopt.refine_passes = st.opt->refine_passes;
+  bopt.initial_tries = st.opt->initial_tries;
+  bopt.seed = st.rng.next();
+  const HgBisection bis = bisect_hypergraph(h, bopt);
+
+  for (int s = 0; s < 2; ++s) {
+    std::vector<index_t> sub_local_ids;
+    Hypergraph sub = split_side(h, bis.side, s, st.opt->metric, sub_local_ids);
+    std::vector<index_t> sub_ids(sub_local_ids.size());
+    for (std::size_t i = 0; i < sub_local_ids.size(); ++i) {
+      sub_ids[i] = ids[sub_local_ids[i]];
+    }
+    recurse(st, sub, sub_ids, s == 0 ? k0 : k1, s == 0 ? low : low + k0);
+  }
+}
+
+}  // namespace
+
+std::vector<index_t> partition_recursive(const Hypergraph& h,
+                                         const HgPartitionOptions& opt) {
+  PDSLIN_CHECK(opt.num_parts >= 1);
+  PDSLIN_CHECK(opt.part_targets.empty() ||
+               opt.part_targets.size() == static_cast<std::size_t>(opt.num_parts));
+  RecState st;
+  st.opt = &opt;
+  st.part.assign(h.num_vertices, 0);
+  st.rng = Rng(opt.seed);
+
+  Hypergraph work = h;
+  if (opt.metric == CutMetric::Soed) {
+    // Paper §III-C: initial net costs are two so that cost-halving on cut
+    // leaves λ(j) as the summed cost of a net's fragments.
+    for (auto& c : work.net_cost) c *= 2;
+  }
+  std::vector<index_t> ids(h.num_vertices);
+  std::iota(ids.begin(), ids.end(), 0);
+  recurse(st, work, ids, opt.num_parts, 0);
+  return std::move(st.part);
+}
+
+}  // namespace pdslin

@@ -1,0 +1,44 @@
+// Recursive k-way hypergraph partitioning with metric-specific net
+// inheritance (paper §III-C):
+//   - con1: cut nets are split (net-splitting of [9]) with costs unchanged;
+//   - cnet: cut nets are discarded;
+//   - soed: initial costs are doubled, cut nets are split and their cost is
+//     halved (rounded up) — summing cut costs then yields the
+//     sum-of-external-degrees metric, exactly the scheme the paper describes.
+//
+// This is the static-weight partitioner (the PaToH role). The RHB algorithm
+// with dynamic vertex weights builds on the same bisection in core/rhb.
+#pragma once
+
+#include <cstdint>
+
+#include "hypergraph/bisect.hpp"
+#include "hypergraph/metrics.hpp"
+
+namespace pdslin {
+
+struct HgPartitionOptions {
+  index_t num_parts = 2;
+  double epsilon = 0.05;
+  CutMetric metric = CutMetric::Con1;
+  std::uint64_t seed = 1;
+  index_t coarsen_to = 150;
+  int refine_passes = 6;
+  int initial_tries = 4;
+  /// Optional exact per-part weight targets under constraint 0 (size
+  /// num_parts). The RHS-reordering use case (§IV-B) passes B for every part
+  /// with epsilon = 0 to force parts of exactly B columns.
+  std::vector<long long> part_targets;
+};
+
+/// Partition h's vertices into num_parts parts; returns part[v] ∈ [0, k).
+std::vector<index_t> partition_recursive(const Hypergraph& h,
+                                         const HgPartitionOptions& opt);
+
+/// Split a hypergraph for recursion: keep the vertices with side[v] == s,
+/// inherit nets under the given metric policy. `vertex_ids` receives, for
+/// each kept (renumbered) vertex, its id in h. Exposed for tests.
+Hypergraph split_side(const Hypergraph& h, const std::vector<signed char>& side,
+                      int s, CutMetric metric, std::vector<index_t>& vertex_ids);
+
+}  // namespace pdslin

@@ -1,0 +1,84 @@
+#include "iterative/bicgstab.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sparse/ops.hpp"
+#include "util/error.hpp"
+
+namespace pdslin {
+
+BicgstabResult bicgstab(const LinearOperator& a, const LinearOperator* precond,
+                        std::span<const value_t> b, std::span<value_t> x,
+                        const BicgstabOptions& opt) {
+  const index_t n = a.size();
+  PDSLIN_CHECK(b.size() == static_cast<std::size_t>(n));
+  PDSLIN_CHECK(x.size() == static_cast<std::size_t>(n));
+
+  BicgstabResult result;
+  const value_t bnorm = norm2(b);
+  if (bnorm == 0.0) {
+    std::fill(x.begin(), x.end(), 0.0);
+    result.converged = true;
+    return result;
+  }
+
+  std::vector<value_t> r(n), r0(n), p(n, 0.0), v(n, 0.0), s(n), t(n);
+  std::vector<value_t> phat(n), shat(n);
+  auto apply_precond = [&](std::span<const value_t> in, std::span<value_t> out) {
+    if (precond != nullptr) {
+      precond->apply(in, out);
+    } else {
+      std::copy(in.begin(), in.end(), out.begin());
+    }
+  };
+
+  a.apply(x, r);
+  for (index_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  r0 = r;
+
+  value_t rho = 1.0, alpha = 1.0, omega = 1.0;
+  result.relative_residual = norm2(r) / bnorm;
+  while (result.iterations < opt.max_iterations &&
+         result.relative_residual > opt.rel_tolerance) {
+    ++result.iterations;
+    const value_t rho_new = dot(r0, r);
+    if (rho_new == 0.0 || omega == 0.0) break;  // breakdown
+    const value_t beta = (rho_new / rho) * (alpha / omega);
+    rho = rho_new;
+    for (index_t i = 0; i < n; ++i) p[i] = r[i] + beta * (p[i] - omega * v[i]);
+
+    apply_precond(p, phat);
+    a.apply(phat, v);
+    const value_t r0v = dot(r0, v);
+    if (r0v == 0.0) break;
+    alpha = rho / r0v;
+    for (index_t i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
+    if (norm2(s) / bnorm <= opt.rel_tolerance) {
+      axpy(alpha, phat, x);
+      r = s;
+      result.relative_residual = norm2(r) / bnorm;
+      break;
+    }
+
+    apply_precond(s, shat);
+    a.apply(shat, t);
+    const value_t tt = dot(t, t);
+    omega = tt == 0.0 ? 0.0 : dot(t, s) / tt;
+    for (index_t i = 0; i < n; ++i) {
+      x[i] += alpha * phat[i] + omega * shat[i];
+      r[i] = s[i] - omega * t[i];
+    }
+    result.relative_residual = norm2(r) / bnorm;
+  }
+
+  // True residual check (BiCGSTAB's recurrence can drift).
+  a.apply(x, t);
+  for (index_t i = 0; i < n; ++i) t[i] = b[i] - t[i];
+  result.relative_residual = norm2(t) / bnorm;
+  result.converged = result.relative_residual <= opt.rel_tolerance * 10.0;
+  return result;
+}
+
+}  // namespace pdslin

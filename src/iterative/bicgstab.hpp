@@ -1,0 +1,29 @@
+// BiCGSTAB with right preconditioning — the alternative Krylov method
+// PDSLin offers for the Schur system (short recurrences: constant memory
+// instead of GMRES's restart-length basis).
+#pragma once
+
+#include <span>
+
+#include "iterative/operators.hpp"
+
+namespace pdslin {
+
+struct BicgstabOptions {
+  int max_iterations = 1000;
+  double rel_tolerance = 1e-12;
+};
+
+struct BicgstabResult {
+  int iterations = 0;
+  double relative_residual = 0.0;
+  bool converged = false;
+};
+
+/// Solve A x = b with right-preconditioned BiCGSTAB; `precond` may be null.
+/// `x` is the initial guess and the output.
+BicgstabResult bicgstab(const LinearOperator& a, const LinearOperator* precond,
+                        std::span<const value_t> b, std::span<value_t> x,
+                        const BicgstabOptions& opt = {});
+
+}  // namespace pdslin

@@ -1,0 +1,138 @@
+#include "iterative/gmres.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sparse/ops.hpp"
+#include "util/error.hpp"
+
+namespace pdslin {
+
+MatrixOperator::MatrixOperator(const CsrMatrix& a) : a_(a) {
+  PDSLIN_CHECK(a.rows == a.cols);
+}
+
+void MatrixOperator::apply(std::span<const value_t> x,
+                           std::span<value_t> y) const {
+  spmv(a_, x, y);
+}
+
+void IdentityOperator::apply(std::span<const value_t> x,
+                             std::span<value_t> y) const {
+  PDSLIN_CHECK(x.size() == y.size());
+  std::copy(x.begin(), x.end(), y.begin());
+}
+
+GmresResult gmres(const LinearOperator& a, const LinearOperator* precond,
+                  std::span<const value_t> b, std::span<value_t> x,
+                  const GmresOptions& opt) {
+  const index_t n = a.size();
+  PDSLIN_CHECK(b.size() == static_cast<std::size_t>(n));
+  PDSLIN_CHECK(x.size() == static_cast<std::size_t>(n));
+  const int m = std::max(1, opt.restart);
+
+  GmresResult result;
+  const value_t bnorm = norm2(b);
+  if (bnorm == 0.0) {
+    std::fill(x.begin(), x.end(), 0.0);
+    result.converged = true;
+    return result;
+  }
+
+  // Krylov basis (m+1 vectors) and the Hessenberg system in Givens form.
+  std::vector<std::vector<value_t>> v(m + 1, std::vector<value_t>(n));
+  std::vector<std::vector<value_t>> h(m + 1, std::vector<value_t>(m, 0.0));
+  std::vector<value_t> cs(m), sn(m), g(m + 1);
+  std::vector<value_t> tmp(n), z(n);
+
+  while (result.iterations < opt.max_iterations) {
+    // r = b − A x.
+    a.apply(x, tmp);
+    for (index_t i = 0; i < n; ++i) v[0][i] = b[i] - tmp[i];
+    value_t beta = norm2(v[0]);
+    result.relative_residual = beta / bnorm;
+    if (result.relative_residual <= opt.rel_tolerance) {
+      result.converged = true;
+      return result;
+    }
+    for (index_t i = 0; i < n; ++i) v[0][i] /= beta;
+    std::fill(g.begin(), g.end(), 0.0);
+    g[0] = beta;
+
+    int k = 0;
+    for (; k < m && result.iterations < opt.max_iterations; ++k) {
+      ++result.iterations;
+      // w = A M⁻¹ v_k.
+      if (precond != nullptr) {
+        precond->apply(v[k], z);
+        a.apply(z, tmp);
+      } else {
+        a.apply(v[k], tmp);
+      }
+      // Modified Gram–Schmidt.
+      for (int i = 0; i <= k; ++i) {
+        h[i][k] = dot(tmp, v[i]);
+        axpy(-h[i][k], v[i], tmp);
+      }
+      h[k + 1][k] = norm2(tmp);
+      if (h[k + 1][k] > 0.0) {
+        for (index_t i = 0; i < n; ++i) v[k + 1][i] = tmp[i] / h[k + 1][k];
+      }
+      // Apply previous Givens rotations to the new column.
+      for (int i = 0; i < k; ++i) {
+        const value_t t = cs[i] * h[i][k] + sn[i] * h[i + 1][k];
+        h[i + 1][k] = -sn[i] * h[i][k] + cs[i] * h[i + 1][k];
+        h[i][k] = t;
+      }
+      // New rotation annihilating h[k+1][k].
+      const value_t denom = std::hypot(h[k][k], h[k + 1][k]);
+      if (denom == 0.0) {
+        cs[k] = 1.0;
+        sn[k] = 0.0;
+      } else {
+        cs[k] = h[k][k] / denom;
+        sn[k] = h[k + 1][k] / denom;
+      }
+      h[k][k] = denom;
+      h[k + 1][k] = 0.0;
+      g[k + 1] = -sn[k] * g[k];
+      g[k] = cs[k] * g[k];
+
+      result.relative_residual = std::abs(g[k + 1]) / bnorm;
+      if (result.relative_residual <= opt.rel_tolerance) {
+        ++k;
+        break;
+      }
+    }
+
+    // Back-substitute y from the triangular Hessenberg system.
+    std::vector<value_t> y(k, 0.0);
+    for (int i = k - 1; i >= 0; --i) {
+      value_t s = g[i];
+      for (int j = i + 1; j < k; ++j) s -= h[i][j] * y[j];
+      y[i] = (h[i][i] != 0.0) ? s / h[i][i] : 0.0;
+    }
+    // x += M⁻¹ (V y).
+    std::fill(tmp.begin(), tmp.end(), 0.0);
+    for (int i = 0; i < k; ++i) axpy(y[i], v[i], tmp);
+    if (precond != nullptr) {
+      precond->apply(tmp, z);
+      axpy(1.0, z, x);
+    } else {
+      axpy(1.0, tmp, x);
+    }
+    if (result.relative_residual <= opt.rel_tolerance) {
+      result.converged = true;
+      return result;
+    }
+  }
+  // Final true residual check.
+  a.apply(x, tmp);
+  for (index_t i = 0; i < n; ++i) tmp[i] = b[i] - tmp[i];
+  result.relative_residual = norm2(tmp) / bnorm;
+  result.converged = result.relative_residual <= opt.rel_tolerance;
+  return result;
+}
+
+}  // namespace pdslin

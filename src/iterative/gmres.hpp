@@ -1,0 +1,31 @@
+// Restarted GMRES with right preconditioning — the Krylov solver PDSLin
+// applies to the Schur complement system S y = ĝ (paper Eq. (2)).
+#pragma once
+
+#include <span>
+
+#include "iterative/operators.hpp"
+
+namespace pdslin {
+
+struct GmresOptions {
+  int restart = 60;
+  int max_iterations = 1000;
+  double rel_tolerance = 1e-12;
+};
+
+struct GmresResult {
+  int iterations = 0;
+  double relative_residual = 0.0;
+  bool converged = false;
+};
+
+/// Solve A x = b with right-preconditioned restarted GMRES:
+/// minimizes ||b − A M⁻¹ u|| over the Krylov space, x = M⁻¹ u.
+/// `precond` may be null (unpreconditioned). `x` is both the initial guess
+/// and the output.
+GmresResult gmres(const LinearOperator& a, const LinearOperator* precond,
+                  std::span<const value_t> b, std::span<value_t> x,
+                  const GmresOptions& opt = {});
+
+}  // namespace pdslin

@@ -1,0 +1,50 @@
+// Minimal work-stealing-free thread pool + parallel_for.
+//
+// PDSLin distributes subdomains over MPI ranks; here each subdomain is a
+// task. On a single-core host the pool degrades to serial execution, and
+// the benchmark drivers report the *modeled* parallel time
+// max_ℓ(per-subdomain work) — the same quantity the paper's inter-processor
+// load-balance study measures (§V: one process per subdomain).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pdslin {
+
+class ThreadPool {
+ public:
+  /// threads == 0 → hardware_concurrency (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; wait_idle() blocks until all enqueued tasks finish.
+  void submit(std::function<void()> task);
+  void wait_idle();
+
+  [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  unsigned in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Run body(i) for i in [0, count) on the pool (blocking). Exceptions from
+/// tasks propagate (first one wins).
+void parallel_for(ThreadPool& pool, int count, const std::function<void(int)>& body);
+
+}  // namespace pdslin

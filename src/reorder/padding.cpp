@@ -1,0 +1,62 @@
+#include "reorder/padding.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace pdslin {
+
+PaddingCost padding_cost(const std::vector<std::vector<index_t>>& patterns,
+                         std::span<const index_t> order, index_t block_size) {
+  PDSLIN_CHECK(block_size >= 1);
+  PDSLIN_CHECK(order.size() == patterns.size());
+  const auto m = static_cast<index_t>(patterns.size());
+
+  PaddingCost cost;
+  std::vector<index_t> union_rows;
+  std::unordered_map<index_t, char> seen;
+  for (index_t begin = 0; begin < m; begin += block_size) {
+    const index_t width = std::min<index_t>(block_size, m - begin);
+    seen.clear();
+    long long block_nnz = 0;
+    for (index_t c = 0; c < width; ++c) {
+      const auto& pat = patterns[order[begin + c]];
+      block_nnz += static_cast<long long>(pat.size());
+      for (index_t i : pat) seen.emplace(i, 1);
+    }
+    cost.pattern_nnz += block_nnz;
+    cost.padded_zeros +=
+        static_cast<long long>(seen.size()) * width - block_nnz;
+  }
+  return cost;
+}
+
+long long padded_zeros_rowwise(const std::vector<std::vector<index_t>>& patterns,
+                               std::span<const index_t> part_of_col,
+                               index_t num_parts) {
+  PDSLIN_CHECK(part_of_col.size() == patterns.size());
+  // Part sizes |V_ℓ|.
+  std::vector<long long> part_size(num_parts, 0);
+  for (index_t p : part_of_col) {
+    PDSLIN_CHECK(p >= 0 && p < num_parts);
+    ++part_size[p];
+  }
+  // For each row i, count |r_i ∩ V_ℓ| per part with a sparse accumulator
+  // keyed by (row, part); iterate column-major instead for locality.
+  std::unordered_map<long long, long long> overlap;  // (row*num_parts+part) → count
+  for (std::size_t c = 0; c < patterns.size(); ++c) {
+    const index_t part = part_of_col[c];
+    for (index_t i : patterns[c]) {
+      ++overlap[static_cast<long long>(i) * num_parts + part];
+    }
+  }
+  long long padded = 0;
+  for (const auto& [key, count] : overlap) {
+    const index_t part = static_cast<index_t>(key % num_parts);
+    padded += part_size[part] - count;  // Eq. (13): |V_ℓ| − |r_i ∩ V_ℓ|
+  }
+  return padded;
+}
+
+}  // namespace pdslin

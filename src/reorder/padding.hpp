@@ -1,0 +1,35 @@
+// Padded-zero cost evaluation for blocked multi-RHS triangular solves
+// (paper §IV-B, Eqs. (13)–(15)).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace pdslin {
+
+struct PaddingCost {
+  long long padded_zeros = 0;   // Eq. (14): total padded zeros over all parts
+  long long pattern_nnz = 0;    // nnz(G)
+  /// padded / (padded + nnz) — Fig. 4's y-axis.
+  [[nodiscard]] double fraction() const {
+    const double denom = static_cast<double>(padded_zeros + pattern_nnz);
+    return denom == 0.0 ? 0.0 : static_cast<double>(padded_zeros) / denom;
+  }
+};
+
+/// Column-wise evaluation: columns (given by their fill patterns) are taken
+/// in `order` and grouped into consecutive blocks of `block_size`; each
+/// block's storage is |union of patterns| · width.
+PaddingCost padding_cost(const std::vector<std::vector<index_t>>& patterns,
+                         std::span<const index_t> order, index_t block_size);
+
+/// Row-wise oracle implementing Eq. (14) literally:
+/// Σ_i Σ_{V_ℓ ∈ Λ_i} (|V_ℓ| − |r_i ∩ V_ℓ|), with part_of_col giving each
+/// column's part. Used by tests to cross-validate padding_cost.
+long long padded_zeros_rowwise(const std::vector<std::vector<index_t>>& patterns,
+                               std::span<const index_t> part_of_col,
+                               index_t num_parts);
+
+}  // namespace pdslin

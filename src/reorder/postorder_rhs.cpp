@@ -1,0 +1,48 @@
+#include "reorder/postorder_rhs.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "direct/etree.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/permute.hpp"
+#include "sparse/symmetrize.hpp"
+#include "util/error.hpp"
+
+namespace pdslin {
+
+std::vector<index_t> etree_postorder_permutation(const CsrMatrix& d) {
+  const CsrMatrix sym = symmetrize_abs(pattern_of(d));
+  const std::vector<index_t> parent = elimination_tree(sym);
+  return tree_postorder(parent);
+}
+
+std::vector<index_t> sort_columns_by_first_nonzero(
+    const CscMatrix& rhs, const std::vector<index_t>& row_perm) {
+  PDSLIN_CHECK(row_perm.size() == static_cast<std::size_t>(rhs.rows));
+  const std::vector<index_t> inv = invert_permutation(row_perm);
+
+  std::vector<index_t> key(rhs.cols, std::numeric_limits<index_t>::max());
+  for (index_t j = 0; j < rhs.cols; ++j) {
+    for (index_t row : rhs.col_rows(j)) {
+      key[j] = std::min(key[j], inv[row]);
+    }
+  }
+  std::vector<index_t> order(rhs.cols);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](index_t a, index_t b) { return key[a] < key[b]; });
+  return order;
+}
+
+PostorderRhs postorder_rhs_ordering(const CsrMatrix& d, const CscMatrix& rhs) {
+  PDSLIN_CHECK(d.rows == d.cols);
+  PDSLIN_CHECK(rhs.rows == d.rows);
+  PostorderRhs r;
+  r.d_perm = etree_postorder_permutation(d);
+  r.col_order = sort_columns_by_first_nonzero(rhs, r.d_perm);
+  return r;
+}
+
+}  // namespace pdslin

@@ -1,0 +1,37 @@
+// RHS reordering based on the elimination-tree postorder (paper §IV-A).
+//
+// The subdomain matrix D is permuted so its e-tree is postordered; the RHS
+// rows are permuted conformingly; RHS columns are then sorted by the row
+// index of their first nonzero. Consecutive columns then start at nearby
+// e-tree nodes, so their fill paths overlap and the blocked solver pads
+// fewer zeros.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace pdslin {
+
+struct PostorderRhs {
+  /// Symmetric permutation of D (perm[new] = old) putting the e-tree of
+  /// |D| + |Dᵀ| in postorder.
+  std::vector<index_t> d_perm;
+  /// Column order for the RHS (order[k] = original column index), sorted by
+  /// first-nonzero row under the postordered row numbering.
+  std::vector<index_t> col_order;
+};
+
+/// `d` is the subdomain matrix (any square pattern, symmetrized internally);
+/// `rhs` holds the sparse RHS columns (rows indexed like d).
+PostorderRhs postorder_rhs_ordering(const CsrMatrix& d, const CscMatrix& rhs);
+
+/// Just the postorder permutation of D (perm[new] = old).
+std::vector<index_t> etree_postorder_permutation(const CsrMatrix& d);
+
+/// Sort columns by first-nonzero row index under a given row permutation
+/// (perm[new] = old). Stable: ties keep original column order.
+std::vector<index_t> sort_columns_by_first_nonzero(
+    const CscMatrix& rhs, const std::vector<index_t>& row_perm);
+
+}  // namespace pdslin

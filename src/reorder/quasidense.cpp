@@ -1,0 +1,33 @@
+#include "reorder/quasidense.hpp"
+
+#include "util/error.hpp"
+
+namespace pdslin {
+
+QuasiDenseFilter remove_quasi_dense_rows(const CsrMatrix& g_rows, double tau) {
+  PDSLIN_CHECK(tau > 0.0);
+  QuasiDenseFilter f;
+  f.filtered.cols = g_rows.cols;
+  f.filtered.row_ptr.assign(1, 0);
+  const auto dense_cut = static_cast<long long>(
+      tau * static_cast<double>(g_rows.cols));
+  for (index_t i = 0; i < g_rows.rows; ++i) {
+    const index_t len = g_rows.row_nnz(i);
+    if (len == 0) {
+      ++f.removed_empty;
+      continue;
+    }
+    if (static_cast<long long>(len) >= dense_cut) {
+      ++f.removed_dense;
+      continue;
+    }
+    const auto cols = g_rows.row_cols(i);
+    f.filtered.col_idx.insert(f.filtered.col_idx.end(), cols.begin(), cols.end());
+    f.filtered.row_ptr.push_back(static_cast<index_t>(f.filtered.col_idx.size()));
+    f.kept_rows.push_back(i);
+  }
+  f.filtered.rows = static_cast<index_t>(f.kept_rows.size());
+  return f;
+}
+
+}  // namespace pdslin

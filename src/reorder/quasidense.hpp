@@ -1,0 +1,28 @@
+// Quasi-dense row filtering for the RHS-reordering hypergraph (paper §V-B-c).
+//
+// Rows of the solution-vector pattern G that are empty carry no information,
+// and rows denser than a threshold τ connect almost every column — both
+// inflate hypergraph partitioning time without improving the partition.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace pdslin {
+
+struct QuasiDenseFilter {
+  /// Row-major pattern with empty and quasi-dense rows removed.
+  CsrMatrix filtered;
+  index_t removed_dense = 0;
+  index_t removed_empty = 0;
+  /// kept[r] = original row index of filtered row r.
+  std::vector<index_t> kept_rows;
+};
+
+/// Remove rows of `g_rows` (a rows × cols pattern, rows become hypergraph
+/// nets) whose density nnz(row)/cols ≥ tau, and empty rows. tau > 1 disables
+/// the dense filter (only empties are dropped).
+QuasiDenseFilter remove_quasi_dense_rows(const CsrMatrix& g_rows, double tau);
+
+}  // namespace pdslin

@@ -1,0 +1,90 @@
+#include "sparse/io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "sparse/convert.hpp"
+#include "util/error.hpp"
+
+namespace pdslin {
+
+namespace {
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+}  // namespace
+
+CsrMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  PDSLIN_CHECK_MSG(static_cast<bool>(std::getline(in, line)), "empty stream");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  PDSLIN_CHECK_MSG(banner == "%%MatrixMarket", "missing MatrixMarket banner");
+  object = lower(object);
+  format = lower(format);
+  field = lower(field);
+  symmetry = lower(symmetry);
+  PDSLIN_CHECK_MSG(object == "matrix" && format == "coordinate",
+                   "only coordinate matrices are supported");
+  PDSLIN_CHECK_MSG(field == "real" || field == "integer" || field == "pattern",
+                   "unsupported field type: " + field);
+  PDSLIN_CHECK_MSG(symmetry == "general" || symmetry == "symmetric",
+                   "unsupported symmetry: " + symmetry);
+  const bool pattern = field == "pattern";
+  const bool symmetric = symmetry == "symmetric";
+
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream sizes(line);
+  long long rows = 0, cols = 0, entries = 0;
+  sizes >> rows >> cols >> entries;
+  PDSLIN_CHECK_MSG(rows > 0 && cols > 0 && entries >= 0, "bad size line");
+
+  CooMatrix coo(static_cast<index_t>(rows), static_cast<index_t>(cols));
+  coo.reserve(static_cast<std::size_t>(symmetric ? 2 * entries : entries));
+  for (long long k = 0; k < entries; ++k) {
+    long long i = 0, j = 0;
+    double v = 1.0;
+    in >> i >> j;
+    if (!pattern) in >> v;
+    PDSLIN_CHECK_MSG(static_cast<bool>(in), "truncated entry list");
+    const auto ri = static_cast<index_t>(i - 1);
+    const auto cj = static_cast<index_t>(j - 1);
+    coo.add(ri, cj, v);
+    if (symmetric && ri != cj) coo.add(cj, ri, v);
+  }
+  return coo_to_csr(coo);
+}
+
+CsrMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  PDSLIN_CHECK_MSG(in.good(), "cannot open " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const CsrMatrix& a) {
+  PDSLIN_CHECK_MSG(a.has_values(), "write requires numeric values");
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << a.rows << ' ' << a.cols << ' ' << a.nnz() << '\n';
+  out.precision(17);
+  for (index_t i = 0; i < a.rows; ++i) {
+    for (index_t p = a.row_ptr[i]; p < a.row_ptr[i + 1]; ++p) {
+      out << (i + 1) << ' ' << (a.col_idx[p] + 1) << ' ' << a.values[p] << '\n';
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const CsrMatrix& a) {
+  std::ofstream out(path);
+  PDSLIN_CHECK_MSG(out.good(), "cannot open " + path);
+  write_matrix_market(out, a);
+}
+
+}  // namespace pdslin

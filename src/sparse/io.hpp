@@ -1,0 +1,24 @@
+// Matrix Market (coordinate) I/O.
+//
+// The paper's matrices come from the UF collection in this format; the
+// reproduction uses synthetic generators but speaks the same format so real
+// matrices can be dropped in when available.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace pdslin {
+
+/// Read a Matrix Market coordinate file (real/integer/pattern,
+/// general/symmetric). Symmetric storage is expanded to the full pattern.
+CsrMatrix read_matrix_market(std::istream& in);
+CsrMatrix read_matrix_market_file(const std::string& path);
+
+/// Write in "matrix coordinate real general" format.
+void write_matrix_market(std::ostream& out, const CsrMatrix& a);
+void write_matrix_market_file(const std::string& path, const CsrMatrix& a);
+
+}  // namespace pdslin

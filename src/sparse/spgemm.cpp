@@ -1,0 +1,111 @@
+#include "sparse/spgemm.hpp"
+
+#include <algorithm>
+
+#include "sparse/convert.hpp"
+#include "util/error.hpp"
+
+namespace pdslin {
+
+CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b) {
+  PDSLIN_CHECK_MSG(a.cols == b.rows, "spgemm dimension mismatch");
+  PDSLIN_CHECK_MSG((a.has_values() || a.nnz() == 0) &&
+                       (b.has_values() || b.nnz() == 0),
+                   "numeric spgemm requires values; use spgemm_pattern");
+  CsrMatrix c(a.rows, b.cols);
+  if (a.nnz() == 0 || b.nnz() == 0) return c;  // empty product
+
+  // Gustavson: sparse accumulator (SPA) per output row.
+  std::vector<value_t> accum(b.cols, 0.0);
+  std::vector<index_t> mark(b.cols, -1);
+  std::vector<index_t> cols_in_row;
+  for (index_t i = 0; i < a.rows; ++i) {
+    cols_in_row.clear();
+    for (index_t p = a.row_ptr[i]; p < a.row_ptr[i + 1]; ++p) {
+      const index_t k = a.col_idx[p];
+      const value_t av = a.values[p];
+      for (index_t q = b.row_ptr[k]; q < b.row_ptr[k + 1]; ++q) {
+        const index_t j = b.col_idx[q];
+        if (mark[j] != i) {
+          mark[j] = i;
+          accum[j] = 0.0;
+          cols_in_row.push_back(j);
+        }
+        accum[j] += av * b.values[q];
+      }
+    }
+    std::sort(cols_in_row.begin(), cols_in_row.end());
+    for (index_t j : cols_in_row) {
+      c.col_idx.push_back(j);
+      c.values.push_back(accum[j]);
+    }
+    c.row_ptr[i + 1] = static_cast<index_t>(c.col_idx.size());
+  }
+  return c;
+}
+
+CsrMatrix spgemm_pattern(const CsrMatrix& a, const CsrMatrix& b) {
+  PDSLIN_CHECK_MSG(a.cols == b.rows, "spgemm dimension mismatch");
+  CsrMatrix c(a.rows, b.cols);
+  std::vector<index_t> mark(b.cols, -1);
+  std::vector<index_t> cols_in_row;
+  for (index_t i = 0; i < a.rows; ++i) {
+    cols_in_row.clear();
+    for (index_t p = a.row_ptr[i]; p < a.row_ptr[i + 1]; ++p) {
+      const index_t k = a.col_idx[p];
+      for (index_t q = b.row_ptr[k]; q < b.row_ptr[k + 1]; ++q) {
+        const index_t j = b.col_idx[q];
+        if (mark[j] != i) {
+          mark[j] = i;
+          cols_in_row.push_back(j);
+        }
+      }
+    }
+    std::sort(cols_in_row.begin(), cols_in_row.end());
+    c.col_idx.insert(c.col_idx.end(), cols_in_row.begin(), cols_in_row.end());
+    c.row_ptr[i + 1] = static_cast<index_t>(c.col_idx.size());
+  }
+  return c;
+}
+
+CsrMatrix ata_pattern(const CsrMatrix& a) {
+  const CsrMatrix at = transpose(a);
+  return spgemm_pattern(at, a);
+}
+
+CsrMatrix add(const CsrMatrix& a, const CsrMatrix& b, value_t alpha, value_t beta) {
+  PDSLIN_CHECK_MSG(a.rows == b.rows && a.cols == b.cols, "add dimension mismatch");
+  PDSLIN_CHECK_MSG(a.has_values() && b.has_values(), "add requires values");
+  CsrMatrix as = a;
+  as.sort_rows();
+  CsrMatrix bs = b;
+  bs.sort_rows();
+
+  CsrMatrix c(a.rows, a.cols);
+  c.col_idx.reserve(a.col_idx.size() + b.col_idx.size());
+  c.values.reserve(a.values.size() + b.values.size());
+  for (index_t i = 0; i < a.rows; ++i) {
+    index_t p = as.row_ptr[i], q = bs.row_ptr[i];
+    const index_t pe = as.row_ptr[i + 1], qe = bs.row_ptr[i + 1];
+    while (p < pe || q < qe) {
+      if (p < pe && (q >= qe || as.col_idx[p] < bs.col_idx[q])) {
+        c.col_idx.push_back(as.col_idx[p]);
+        c.values.push_back(alpha * as.values[p]);
+        ++p;
+      } else if (q < qe && (p >= pe || bs.col_idx[q] < as.col_idx[p])) {
+        c.col_idx.push_back(bs.col_idx[q]);
+        c.values.push_back(beta * bs.values[q]);
+        ++q;
+      } else {
+        c.col_idx.push_back(as.col_idx[p]);
+        c.values.push_back(alpha * as.values[p] + beta * bs.values[q]);
+        ++p;
+        ++q;
+      }
+    }
+    c.row_ptr[i + 1] = static_cast<index_t>(c.col_idx.size());
+  }
+  return c;
+}
+
+}  // namespace pdslin

@@ -1,0 +1,75 @@
+#include "sparse/symmetrize.hpp"
+
+#include <cmath>
+
+#include "sparse/convert.hpp"
+#include "util/error.hpp"
+
+namespace pdslin {
+
+CsrMatrix symmetrize_abs(const CsrMatrix& a) {
+  PDSLIN_CHECK_MSG(a.rows == a.cols, "symmetrize requires a square matrix");
+  const CsrMatrix at = transpose(a);
+  const bool has_vals = a.has_values();
+
+  CsrMatrix b(a.rows, a.cols);
+  b.col_idx.reserve(a.col_idx.size() + at.col_idx.size());
+  if (has_vals) b.values.reserve(a.values.size() + at.values.size());
+
+  // Merge the (sorted after transpose) rows of A and Aᵀ. A itself may be
+  // unsorted, so sort a working copy of each row via the transpose trick:
+  // transpose twice is overkill; instead sort rows of a copy once.
+  CsrMatrix as = a;
+  if (!as.is_sorted()) as.sort_rows();
+
+  for (index_t i = 0; i < a.rows; ++i) {
+    index_t p = as.row_ptr[i];
+    index_t q = at.row_ptr[i];
+    const index_t pe = as.row_ptr[i + 1];
+    const index_t qe = at.row_ptr[i + 1];
+    while (p < pe || q < qe) {
+      index_t col;
+      value_t val = 0;
+      if (p < pe && (q >= qe || as.col_idx[p] < at.col_idx[q])) {
+        col = as.col_idx[p];
+        if (has_vals) val = std::abs(as.values[p]);
+        ++p;
+      } else if (q < qe && (p >= pe || at.col_idx[q] < as.col_idx[p])) {
+        col = at.col_idx[q];
+        if (has_vals) val = std::abs(at.values[q]);
+        ++q;
+      } else {  // equal columns
+        col = as.col_idx[p];
+        if (has_vals) val = std::abs(as.values[p]) + std::abs(at.values[q]);
+        ++p;
+        ++q;
+      }
+      b.col_idx.push_back(col);
+      if (has_vals) b.values.push_back(val);
+    }
+    b.row_ptr[i + 1] = static_cast<index_t>(b.col_idx.size());
+  }
+  return b;
+}
+
+bool pattern_symmetric(const CsrMatrix& a) {
+  if (a.rows != a.cols) return false;
+  CsrMatrix as = a;
+  as.sort_rows();
+  CsrMatrix at = transpose(a);
+  return as.row_ptr == at.row_ptr && as.col_idx == at.col_idx;
+}
+
+bool value_symmetric(const CsrMatrix& a, value_t tol) {
+  if (a.rows != a.cols || !a.has_values()) return false;
+  CsrMatrix as = a;
+  as.sort_rows();
+  CsrMatrix at = transpose(a);
+  if (as.row_ptr != at.row_ptr || as.col_idx != at.col_idx) return false;
+  for (std::size_t k = 0; k < as.values.size(); ++k) {
+    if (std::abs(as.values[k] - at.values[k]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace pdslin

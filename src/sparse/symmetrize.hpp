@@ -1,0 +1,22 @@
+// Pattern/value symmetrization |A| + |A|ᵀ.
+//
+// The partitioning algorithms of the paper (§III) and the elimination-tree
+// machinery (§IV-A) both work on the symmetrized matrix; this module provides
+// it once for everyone.
+#pragma once
+
+#include "sparse/csr.hpp"
+
+namespace pdslin {
+
+/// B = |A| + |A|ᵀ (values are |a_ij| + |a_ji|). If `a` is pattern-only the
+/// result is the symmetrized pattern with no values.
+CsrMatrix symmetrize_abs(const CsrMatrix& a);
+
+/// True if the sparsity pattern of A is symmetric (A square).
+bool pattern_symmetric(const CsrMatrix& a);
+
+/// True if A is numerically symmetric to within `tol` (A square, with values).
+bool value_symmetric(const CsrMatrix& a, value_t tol);
+
+}  // namespace pdslin

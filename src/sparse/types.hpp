@@ -1,0 +1,15 @@
+// Common scalar/index typedefs for the sparse kernels.
+//
+// 32-bit indices are sufficient for every workload in the reproduction
+// (n < 2^31, nnz < 2^31) and halve the memory traffic of the symbolic
+// kernels, which matters for the partitioners.
+#pragma once
+
+#include <cstdint>
+
+namespace pdslin {
+
+using index_t = std::int32_t;
+using value_t = double;
+
+}  // namespace pdslin

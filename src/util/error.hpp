@@ -1,0 +1,48 @@
+// Error handling utilities: checked preconditions and a library exception type.
+//
+// Library code throws pdslin::Error on precondition violations rather than
+// aborting, so callers (tests, long-running drivers) can recover.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pdslin {
+
+/// Exception type thrown by all pdslin components on contract violations
+/// (bad dimensions, non-finite input where finiteness is required, etc.).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* expr, const char* file, int line,
+                               const std::string& msg) {
+  std::string full = std::string("pdslin check failed: ") + expr + " at " +
+                     file + ":" + std::to_string(line);
+  if (!msg.empty()) full += " — " + msg;
+  throw Error(full);
+}
+}  // namespace detail
+
+}  // namespace pdslin
+
+/// Precondition check that is always active (release builds included).
+/// Use for user-facing API contracts.
+#define PDSLIN_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) ::pdslin::detail::raise(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define PDSLIN_CHECK_MSG(expr, msg)                                        \
+  do {                                                                     \
+    if (!(expr)) ::pdslin::detail::raise(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Internal invariant check; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define PDSLIN_ASSERT(expr) ((void)0)
+#else
+#define PDSLIN_ASSERT(expr) PDSLIN_CHECK(expr)
+#endif

@@ -1,0 +1,63 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace pdslin {
+
+namespace {
+template <typename T>
+Summary summarize_impl(std::span<const T> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.min = std::numeric_limits<double>::infinity();
+  s.max = -std::numeric_limits<double>::infinity();
+  for (T v : values) {
+    const double d = static_cast<double>(v);
+    s.min = std::min(s.min, d);
+    s.max = std::max(s.max, d);
+    s.sum += d;
+  }
+  s.avg = s.sum / static_cast<double>(s.count);
+  return s;
+}
+
+template <typename T>
+double max_over_min_impl(std::span<const T> values) {
+  if (values.empty()) return 1.0;
+  const Summary s = summarize_impl(values);
+  if (s.min == 0.0) {
+    return s.max == 0.0 ? 1.0 : std::numeric_limits<double>::infinity();
+  }
+  return s.max / s.min;
+}
+
+template <typename T>
+double imbalance_ratio_impl(std::span<const T> values) {
+  if (values.empty()) return 0.0;
+  const Summary s = summarize_impl(values);
+  if (s.avg == 0.0) return 0.0;
+  return (s.max - s.avg) / s.avg;
+}
+}  // namespace
+
+Summary summarize(std::span<const double> values) { return summarize_impl(values); }
+Summary summarize(std::span<const long long> values) { return summarize_impl(values); }
+
+double max_over_min(std::span<const double> values) { return max_over_min_impl(values); }
+double max_over_min(std::span<const long long> values) { return max_over_min_impl(values); }
+
+double imbalance_ratio(std::span<const double> values) { return imbalance_ratio_impl(values); }
+double imbalance_ratio(std::span<const long long> values) { return imbalance_ratio_impl(values); }
+
+std::string format_ratio(double value) {
+  if (std::isinf(value)) return "inf";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", value);
+  return buf;
+}
+
+}  // namespace pdslin

@@ -1,0 +1,40 @@
+// Small descriptive-statistics helpers used throughout the experiment
+// drivers: min/max/average summaries and the two imbalance metrics the paper
+// reports (max/min "balance" bars in Fig. 3, and the (Wmax-Wavg)/Wavg
+// constraint of Eq. (6)).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pdslin {
+
+/// Five-number-ish summary of a sample.
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double avg = 0.0;
+  double sum = 0.0;
+  std::size_t count = 0;
+};
+
+/// Compute min/max/avg/sum of a non-empty sample.
+Summary summarize(std::span<const double> values);
+Summary summarize(std::span<const long long> values);
+
+/// The paper's Fig. 3 load-balance metric: Wmax / Wmin. Returns +inf when the
+/// minimum is zero and the maximum is not; 1.0 for an empty sample.
+double max_over_min(std::span<const double> values);
+double max_over_min(std::span<const long long> values);
+
+/// The hypergraph-partitioning balance constraint of Eq. (6):
+/// (Wmax - Wavg) / Wavg. Returns 0 for an empty sample.
+double imbalance_ratio(std::span<const double> values);
+double imbalance_ratio(std::span<const long long> values);
+
+/// Fixed-width human-readable rendering, e.g. "1.84" or "inf".
+std::string format_ratio(double value);
+
+}  // namespace pdslin

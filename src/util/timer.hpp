@@ -1,0 +1,45 @@
+// Wall-clock timing helpers used by the solver phases and the benchmark
+// drivers. All times are reported in seconds as double.
+#pragma once
+
+#include <chrono>
+
+namespace pdslin {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across multiple start/stop intervals (e.g. the total
+/// triangular-solution time summed over subdomains).
+class AccumTimer {
+ public:
+  void start() { t_.reset(); running_ = true; }
+  void stop() {
+    if (running_) total_ += t_.seconds();
+    running_ = false;
+  }
+  [[nodiscard]] double seconds() const { return total_; }
+  void clear() { total_ = 0.0; running_ = false; }
+
+ private:
+  WallTimer t_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace pdslin

@@ -1,0 +1,188 @@
+// End-to-end tests of the PDSLin-style SchurSolver: both partitioners, all
+// RHS orderings, repeated solves, and solution accuracy against dense/LU
+// oracles on the Table-I analogue matrices.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/schur_solver.hpp"
+#include "gen/suite.hpp"
+#include "sparse/ops.hpp"
+#include "test_util.hpp"
+#include "util/error.hpp"
+
+namespace pdslin {
+namespace {
+
+std::vector<value_t> random_rhs(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<value_t> b(n);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  return b;
+}
+
+TEST(SchurSolver, PhaseOrderEnforced) {
+  const CsrMatrix a = testing::grid_laplacian(10, 10);
+  SolverOptions opt;
+  opt.num_subdomains = 2;
+  SchurSolver solver(a, opt);
+  std::vector<value_t> b(a.rows, 1.0), x(a.rows, 0.0);
+  EXPECT_THROW(solver.factor(), Error);
+  EXPECT_THROW(solver.solve(b, x), Error);
+  solver.setup();
+  EXPECT_THROW(solver.solve(b, x), Error);
+}
+
+TEST(SchurSolver, RejectsNonPowerOfTwoSubdomains) {
+  const CsrMatrix a = testing::grid_laplacian(5, 5);
+  SolverOptions opt;
+  opt.num_subdomains = 3;
+  EXPECT_THROW(SchurSolver(a, opt), Error);
+}
+
+class SolverEndToEnd
+    : public ::testing::TestWithParam<std::tuple<PartitionMethod, index_t>> {};
+
+TEST_P(SolverEndToEnd, SolvesGridLaplacian) {
+  const auto [method, k] = GetParam();
+  const CsrMatrix a = testing::grid_laplacian(24, 24);
+  SolverOptions opt;
+  opt.partitioning = method;
+  opt.num_subdomains = k;
+  opt.seed = 3;
+  SchurSolver solver(a, opt);
+  solver.setup();
+  solver.factor();
+
+  const auto b = random_rhs(a.rows, 7);
+  std::vector<value_t> x(a.rows, 0.0);
+  const GmresResult r = solver.solve(b, x);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(residual_norm(a, x, b) / norm2(b), 1e-8);
+
+  const SolverStats& s = solver.stats();
+  EXPECT_EQ(s.schur_dim, solver.partition().separator_size());
+  EXPECT_EQ(s.lu_d_seconds.size(), static_cast<std::size_t>(k));
+  EXPECT_GT(s.parallel_time_one_level(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsAndK, SolverEndToEnd,
+    ::testing::Combine(::testing::Values(PartitionMethod::NGD,
+                                         PartitionMethod::RHB),
+                       ::testing::Values<index_t>(2, 4, 8)));
+
+class SolverRhsOrdering : public ::testing::TestWithParam<RhsOrdering> {};
+
+TEST_P(SolverRhsOrdering, AllOrderingsGiveSameSolution) {
+  const GeneratedProblem p = make_suite_matrix("dds.linear", 0.04);
+  SolverOptions opt;
+  opt.num_subdomains = 4;
+  opt.assembly.rhs_ordering = GetParam();
+  opt.assembly.rhs_block_size = 16;
+  opt.seed = 11;
+  SchurSolver solver(p.a, opt);
+  solver.setup(&p.incidence);
+  solver.factor();
+  const auto b = random_rhs(p.a.rows, 13);
+  std::vector<value_t> x(p.a.rows, 0.0);
+  const GmresResult r = solver.solve(b, x);
+  EXPECT_TRUE(r.converged) << to_string(GetParam());
+  EXPECT_LT(residual_norm(p.a, x, b) / norm2(b), 1e-7) << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Orderings, SolverRhsOrdering,
+                         ::testing::Values(RhsOrdering::Natural,
+                                           RhsOrdering::Postorder,
+                                           RhsOrdering::Hypergraph));
+
+class SolverSuiteMatrix : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SolverSuiteMatrix, ConvergesOnTableIAnalogue) {
+  const GeneratedProblem p = make_suite_matrix(GetParam(), 0.06);
+  SolverOptions opt;
+  opt.num_subdomains = 4;
+  opt.partitioning = PartitionMethod::RHB;
+  opt.seed = 17;
+  SchurSolver solver(p.a, opt);
+  solver.setup(p.incidence.rows > 0 ? &p.incidence : nullptr);
+  solver.factor();
+  const auto b = random_rhs(p.a.rows, 19);
+  std::vector<value_t> x(p.a.rows, 0.0);
+  const GmresResult r = solver.solve(b, x);
+  EXPECT_TRUE(r.converged) << GetParam();
+  EXPECT_LT(residual_norm(p.a, x, b) / norm2(b), 1e-6) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTableI, SolverSuiteMatrix,
+                         ::testing::ValuesIn(suite_names()));
+
+TEST(SchurSolver, RepeatedSolvesReuseFactorization) {
+  const CsrMatrix a = testing::grid_laplacian(16, 16);
+  SolverOptions opt;
+  opt.num_subdomains = 4;
+  SchurSolver solver(a, opt);
+  solver.setup();
+  solver.factor();
+  for (std::uint64_t trial = 0; trial < 3; ++trial) {
+    const auto b = random_rhs(a.rows, 100 + trial);
+    std::vector<value_t> x(a.rows, 0.0);
+    EXPECT_TRUE(solver.solve(b, x).converged);
+    EXPECT_LT(residual_norm(a, x, b) / norm2(b), 1e-8);
+  }
+}
+
+TEST(SchurSolver, MatchesDirectSolution) {
+  Rng rng(23);
+  const GeneratedProblem p = make_suite_matrix("G3_circuit", 0.02);
+  SolverOptions opt;
+  opt.num_subdomains = 2;
+  SchurSolver solver(p.a, opt);
+  solver.setup(&p.incidence);
+  solver.factor();
+  const auto b = random_rhs(p.a.rows, 29);
+  std::vector<value_t> x(p.a.rows, 0.0);
+  solver.solve(b, x);
+  // Direct solve oracle.
+  const LuFactors f = lu_factorize(p.a);
+  std::vector<value_t> xd(p.a.rows);
+  lu_solve(f, b, xd);
+  for (index_t i = 0; i < p.a.rows; ++i) EXPECT_NEAR(x[i], xd[i], 1e-6);
+}
+
+TEST(SchurSolver, DomainSolveInvertsD) {
+  const CsrMatrix a = testing::grid_laplacian(12, 12);
+  SolverOptions opt;
+  opt.num_subdomains = 2;
+  SchurSolver solver(a, opt);
+  solver.setup();
+  solver.factor();
+  const Subdomain& sub = solver.subdomains()[0];
+  const auto b = random_rhs(sub.d.rows, 31);
+  std::vector<value_t> z(sub.d.rows);
+  solver.domain_solve(0, b, z);
+  EXPECT_LT(residual_norm(sub.d, z, b) / norm2(b), 1e-9);
+}
+
+TEST(SchurSolver, ThreadedFactorMatchesSerial) {
+  const CsrMatrix a = testing::grid_laplacian(18, 18);
+  SolverOptions serial;
+  serial.num_subdomains = 4;
+  serial.seed = 37;
+  SolverOptions threaded = serial;
+  threaded.threads = 3;
+
+  SchurSolver s1(a, serial), s2(a, threaded);
+  s1.setup();
+  s1.factor();
+  s2.setup();
+  s2.factor();
+  const auto b = random_rhs(a.rows, 41);
+  std::vector<value_t> x1(a.rows, 0.0), x2(a.rows, 0.0);
+  s1.solve(b, x1);
+  s2.solve(b, x2);
+  for (index_t i = 0; i < a.rows; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-10);
+}
+
+}  // namespace
+}  // namespace pdslin

@@ -1,0 +1,135 @@
+// Tests for utilities (stats, RNG, logging) and the parallel layer
+// (thread pool, cost model).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "parallel/cost_model.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace pdslin {
+namespace {
+
+TEST(Stats, SummaryAndRatios) {
+  const std::vector<double> v{2.0, 4.0, 6.0};
+  const Summary s = summarize(std::span<const double>(v));
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+  EXPECT_DOUBLE_EQ(s.avg, 4.0);
+  EXPECT_DOUBLE_EQ(s.sum, 12.0);
+  EXPECT_DOUBLE_EQ(max_over_min(std::span<const double>(v)), 3.0);
+  EXPECT_DOUBLE_EQ(imbalance_ratio(std::span<const double>(v)), 0.5);
+}
+
+TEST(Stats, EdgeCases) {
+  const std::vector<long long> zeros{0, 5};
+  EXPECT_TRUE(std::isinf(max_over_min(std::span<const long long>(zeros))));
+  const std::vector<long long> allzero{0, 0};
+  EXPECT_DOUBLE_EQ(max_over_min(std::span<const long long>(allzero)), 1.0);
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(max_over_min(std::span<const double>(empty)), 1.0);
+  EXPECT_EQ(format_ratio(2.345), "2.35");
+  EXPECT_EQ(format_ratio(std::numeric_limits<double>::infinity()), "inf");
+}
+
+TEST(Rng, DeterministicAndBounded) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) differs |= (a.next() != c.next());
+  EXPECT_TRUE(differs);
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int x = r.index(17);
+    EXPECT_GE(x, 0);
+    EXPECT_LT(x, 17);
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformCoverage) {
+  Rng r(11);
+  std::set<int> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(r.index(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  EXPECT_GE(t.seconds(), 0.0);
+  AccumTimer acc;
+  acc.start();
+  acc.stop();
+  acc.start();
+  acc.stop();
+  EXPECT_GE(acc.seconds(), 0.0);
+  acc.clear();
+  EXPECT_EQ(acc.seconds(), 0.0);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ParallelFor, CoversRangeAndPropagatesErrors) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  parallel_for(pool, 50, [&](int i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+
+  EXPECT_THROW(
+      parallel_for(pool, 10,
+                   [](int i) {
+                     if (i == 7) throw Error("boom");
+                   }),
+      Error);
+}
+
+TEST(CostModel, SpeedupMonotoneInCores) {
+  const std::vector<double> work{1.0, 2.0, 1.5};
+  TwoLevelCostOptions opt;
+  double prev = two_level_phase_time(work, 1, opt);
+  EXPECT_GE(prev, 2.0);  // slowest domain dominates at 1 core
+  for (int cores : {2, 4, 8, 16}) {
+    const double t = two_level_phase_time(work, cores, opt);
+    EXPECT_LT(t, prev) << cores;
+    prev = t;
+  }
+}
+
+TEST(CostModel, ImbalanceDominates) {
+  // A perfectly balanced phase beats an imbalanced one of equal total work.
+  const std::vector<double> balanced{1.0, 1.0, 1.0, 1.0};
+  const std::vector<double> skewed{0.25, 0.25, 0.25, 3.25};
+  EXPECT_LT(two_level_phase_time(balanced, 4),
+            two_level_phase_time(skewed, 4));
+}
+
+TEST(CostModel, GlobalPhaseScales) {
+  const double t1 = global_phase_time(8.0, 1);
+  const double t64 = global_phase_time(8.0, 64);
+  EXPECT_LT(t64, t1);
+  EXPECT_GT(t64, 0.0);
+}
+
+}  // namespace
+}  // namespace pdslin

@@ -1,0 +1,163 @@
+// pdslin — command-line front end for the hybrid solver.
+//
+// Usage:
+//   pdslin --matrix tdr190k [--scale 1.0]          (suite analogue)
+//   pdslin --matrix path/to/A.mtx                  (Matrix Market file)
+// Options:
+//   --method RHB|NGD          partitioner                    [RHB]
+//   --metric con1|cnet|soed   RHB cut metric                 [soed]
+//   --constraints 1|2         single (w1) / multi (w1,w2)    [1]
+//   --static-weights          disable RHB dynamic weights
+//   -k N                      number of subdomains (power of 2) [8]
+//   --epsilon X               partition balance tolerance     [0.05]
+//   --rhs-ordering natural|postorder|hypergraph               [postorder]
+//   --block-size B            multi-RHS block size            [60]
+//   --drop-wg X / --drop-s X  dropping thresholds             [1e-6 / 1e-5]
+//   --krylov gmres|bicgstab   Schur iterative method          [gmres]
+//   --threads N               subdomain-level threads         [1]
+//   --seed N                  RNG seed                        [1]
+//   --verbose                 info-level logging
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/schur_solver.hpp"
+#include "gen/suite.hpp"
+#include "sparse/io.hpp"
+#include "sparse/ops.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+using namespace pdslin;
+
+namespace {
+
+[[noreturn]] void usage(const char* msg) {
+  std::fprintf(stderr, "pdslin: %s\n(see the header of tools/pdslin_cli.cpp "
+                       "for usage)\n", msg);
+  std::exit(2);
+}
+
+bool is_suite_name(const std::string& name) {
+  for (const std::string& s : suite_names()) {
+    if (s == name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string matrix;
+  double scale = 1.0;
+  SolverOptions opt;
+  opt.partitioning = PartitionMethod::RHB;
+  opt.metric = CutMetric::Soed;
+  opt.num_subdomains = 8;
+  opt.partition_epsilon = 0.05;
+  opt.assembly.drop_wg = 1e-6;
+  opt.assembly.drop_s = 1e-5;
+  opt.assembly.rhs_ordering = RhsOrdering::Postorder;
+  std::string krylov = "gmres";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--matrix") {
+      matrix = next();
+    } else if (arg == "--scale") {
+      scale = std::atof(next());
+    } else if (arg == "--method") {
+      const std::string v = next();
+      if (v == "RHB") {
+        opt.partitioning = PartitionMethod::RHB;
+      } else if (v == "NGD") {
+        opt.partitioning = PartitionMethod::NGD;
+      } else {
+        usage("unknown --method");
+      }
+    } else if (arg == "--metric") {
+      const std::string v = next();
+      if (v == "con1") opt.metric = CutMetric::Con1;
+      else if (v == "cnet") opt.metric = CutMetric::CutNet;
+      else if (v == "soed") opt.metric = CutMetric::Soed;
+      else usage("unknown --metric");
+    } else if (arg == "--constraints") {
+      opt.constraints = std::atoi(next()) >= 2 ? RhbConstraintMode::MultiW1W2
+                                               : RhbConstraintMode::SingleW1;
+    } else if (arg == "--static-weights") {
+      opt.rhb_dynamic_weights = false;
+    } else if (arg == "-k") {
+      opt.num_subdomains = static_cast<index_t>(std::atoi(next()));
+    } else if (arg == "--epsilon") {
+      opt.partition_epsilon = std::atof(next());
+    } else if (arg == "--rhs-ordering") {
+      const std::string v = next();
+      if (v == "natural") opt.assembly.rhs_ordering = RhsOrdering::Natural;
+      else if (v == "postorder") opt.assembly.rhs_ordering = RhsOrdering::Postorder;
+      else if (v == "hypergraph") opt.assembly.rhs_ordering = RhsOrdering::Hypergraph;
+      else usage("unknown --rhs-ordering");
+    } else if (arg == "--block-size") {
+      opt.assembly.rhs_block_size = static_cast<index_t>(std::atoi(next()));
+    } else if (arg == "--drop-wg") {
+      opt.assembly.drop_wg = std::atof(next());
+    } else if (arg == "--drop-s") {
+      opt.assembly.drop_s = std::atof(next());
+    } else if (arg == "--krylov") {
+      krylov = next();
+      if (krylov != "gmres" && krylov != "bicgstab") usage("unknown --krylov");
+    } else if (arg == "--threads") {
+      opt.threads = static_cast<unsigned>(std::atoi(next()));
+    } else if (arg == "--seed") {
+      opt.seed = static_cast<std::uint64_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--verbose") {
+      set_log_level(LogLevel::Info);
+    } else {
+      usage(("unknown option " + arg).c_str());
+    }
+  }
+  if (matrix.empty()) usage("--matrix is required");
+  opt.krylov = krylov == "bicgstab" ? KrylovMethod::Bicgstab : KrylovMethod::Gmres;
+
+  GeneratedProblem problem;
+  if (is_suite_name(matrix)) {
+    problem = make_suite_matrix(matrix, scale, opt.seed);
+  } else {
+    problem.a = read_matrix_market_file(matrix);
+    problem.name = matrix;
+  }
+  std::printf("matrix %s: n=%d nnz=%d\n", problem.name.c_str(), problem.a.rows,
+              problem.a.nnz());
+
+  SchurSolver solver(std::move(problem.a), opt);
+  const CsrMatrix& a = solver.matrix();
+  solver.setup(problem.incidence.rows > 0 ? &problem.incidence : nullptr);
+  solver.factor();
+
+  Rng rng(opt.seed + 777);
+  std::vector<value_t> b(a.rows), x(a.rows, 0.0);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  const GmresResult res = solver.solve(b, x);
+
+  const SolverStats& st = solver.stats();
+  const DbbdStats& ps = st.partition;
+  std::printf("\n%s\n", st.summary().c_str());
+  std::printf("balance (max/min over %d subdomains): dim(D)=%s nnz(D)=%s "
+              "col(E)=%s nnz(E)=%s\n",
+              opt.num_subdomains,
+              format_ratio(max_over_min(std::span<const long long>(ps.dim_d))).c_str(),
+              format_ratio(max_over_min(std::span<const long long>(ps.nnz_d))).c_str(),
+              format_ratio(max_over_min(std::span<const long long>(ps.nnzcol_e))).c_str(),
+              format_ratio(max_over_min(std::span<const long long>(ps.nnz_e))).c_str());
+  std::printf("true residual ||Ax-b||/||b|| = %.3e\n",
+              residual_norm(a, x, b) / norm2(b));
+  std::printf("modeled one-level parallel time: %.3f s\n",
+              st.parallel_time_one_level());
+  return res.converged ? 0 : 1;
+}
