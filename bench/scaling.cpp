@@ -1,0 +1,161 @@
+// Two-level intra-subdomain scaling study: wall-clock of the interface
+// computation phase — the blocked multi-RHS triangular solves for
+// G = L⁻¹Ê and Wᵀ = U⁻ᵀF̂ᵀ plus the T̃ = W̃G̃ SpGEMM — as the inner
+// (per-subdomain) worker count grows, and of the full factorization under
+// outer × inner thread layouts (the paper's np = k × (np/k) processor
+// groups, §V).
+//
+// The solver output must be bitwise identical at every thread count; the
+// driver hard-fails otherwise. Emits one JSON line (prefix "JSON ") for the
+// bench trajectory. Speedups reflect the host: on a single-core container
+// every configuration degrades to serial execution and reports ~1×.
+//
+// Environment: PDSLIN_BENCH_SCALE, PDSLIN_BENCH_SEED (see bench_common.hpp),
+// PDSLIN_BENCH_MATRIX (suite name, default tdr190k).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/dbbd.hpp"
+#include "core/schur_assembly.hpp"
+#include "core/subdomain.hpp"
+#include "graph/graph.hpp"
+#include "graph/nested_dissection.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/symmetrize.hpp"
+
+using namespace pdslin;
+
+namespace {
+
+bool same_matrix(const CsrMatrix& a, const CsrMatrix& b) {
+  return a.rows == b.rows && a.cols == b.cols && a.row_ptr == b.row_ptr &&
+         a.col_idx == b.col_idx && a.values == b.values;
+}
+
+struct PhaseRun {
+  double solve_gemm_seconds = 0.0;   // Σ_ℓ wall of (G solve + W solve + T̃ GEMM)
+  std::vector<CsrMatrix> t_tilde;    // per-subdomain output, for the bitwise check
+};
+
+PhaseRun run_phase(const std::vector<Subdomain>& subs, unsigned inner_threads) {
+  SchurAssemblyOptions opt;
+  opt.drop_wg = 1e-6;
+  opt.drop_s = 1e-5;
+  opt.inner_threads = inner_threads;
+  PhaseRun r;
+  for (const Subdomain& sub : subs) {
+    const SubdomainFactorization f = assemble_subdomain(sub, opt);
+    r.solve_gemm_seconds +=
+        f.solve_g_seconds + f.solve_w_seconds + f.gemm_seconds;
+    r.t_tilde.push_back(f.t_tilde);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "SCALING — two-level intra-subdomain parallelism",
+      "the §V np = k × (np/k) processor-group configurations");
+  const double scale = bench::bench_scale(1.0);
+  const std::uint64_t seed = bench::bench_seed();
+  std::string name = "tdr190k";
+  if (const char* m = std::getenv("PDSLIN_BENCH_MATRIX")) name = m;
+  const index_t k = 8;
+
+  const GeneratedProblem p = make_suite_matrix(name, scale, seed);
+  std::printf("matrix %s: n=%d nnz=%d, %d subdomains, pool=%u threads\n",
+              p.name.c_str(), p.a.rows, p.a.nnz(), k,
+              ThreadPool::shared().size());
+
+  const CsrMatrix sym = symmetrize_abs(pattern_of(p.a));
+  NgdOptions nopt;
+  nopt.num_parts = k;
+  nopt.seed = seed;
+  const DissectionResult nd = nested_dissection(graph_from_matrix(sym), nopt);
+  const DbbdPartition dbbd = build_dbbd(nd.part, k, nd.separator_order);
+  std::vector<Subdomain> subs;
+  subs.reserve(k);
+  for (index_t l = 0; l < k; ++l) subs.push_back(extract_subdomain(p.a, dbbd, l));
+
+  // --- Inner-level scaling of the multi-RHS solves + SpGEMM. ---
+  const std::vector<unsigned> inner_counts{1, 2, 4};
+  std::vector<double> phase_seconds;
+  PhaseRun reference;
+  bool identical = true;
+  std::printf("\n%-14s | %-18s | %s\n", "config", "solve+gemm t[s]",
+              "speedup vs serial");
+  for (std::size_t ci = 0; ci < inner_counts.size(); ++ci) {
+    const unsigned t = inner_counts[ci];
+    // Repeat-min timing: single shots are noise-dominated at laptop scale.
+    double best = 1e30;
+    PhaseRun run;
+    for (int rep = 0; rep < 2; ++rep) {
+      run = run_phase(subs, t);
+      best = std::min(best, run.solve_gemm_seconds);
+    }
+    phase_seconds.push_back(best);
+    if (ci == 0) {
+      reference = run;
+    } else {
+      for (index_t l = 0; l < k; ++l) {
+        identical = identical && same_matrix(reference.t_tilde[l], run.t_tilde[l]);
+      }
+    }
+    std::printf("1x%-12u | %18.4f | %17.2fx\n", t, best, phase_seconds[0] / best);
+  }
+  std::printf("bitwise-identical T~ across thread counts: %s\n",
+              identical ? "yes" : "NO — BUG");
+
+  // --- Full factorization under outer × inner layouts. ---
+  std::printf("\n%-14s | %-18s | %s\n", "factor layout", "subdomain wall[s]",
+              "speedup vs serial");
+  std::vector<std::pair<std::string, double>> layouts;
+  double serial_wall = 0.0;
+  const ThreadBudget auto_budget =
+      split_thread_budget(/*total=*/0, static_cast<unsigned>(k));
+  const std::vector<std::pair<const char*, ThreadBudget>> configs{
+      {"", {1, 1}},
+      {"", {static_cast<unsigned>(k), 1}},
+      {"", {1, 4}},
+      {"auto_", auto_budget}};  // hardware budget split over k subdomains
+  for (const auto& [prefix, tb] : configs) {
+    SolverOptions opt = bench::bench_solver_options();
+    opt.num_subdomains = k;
+    opt.threads = tb.outer;
+    opt.assembly.inner_threads = tb.inner;
+    SchurSolver solver(p.a, opt);
+    solver.setup(p.incidence.rows > 0 ? &p.incidence : nullptr);
+    solver.factor();
+    const double wall = solver.stats().subdomain_wall_seconds;
+    const std::string label = std::string(prefix) + std::to_string(tb.outer) +
+                              "x" + std::to_string(tb.inner);
+    if (layouts.empty()) serial_wall = wall;
+    layouts.emplace_back(label, wall);
+    std::printf("%-14s | %18.4f | %17.2fx  (cpu=%.4fs modeled-max=%.4fs)\n",
+                label.c_str(), wall, serial_wall / wall,
+                solver.stats().subdomain_seconds_cpu(),
+                solver.stats().subdomain_seconds_modeled());
+  }
+
+  std::printf("\nJSON {\"bench\":\"scaling\",\"matrix\":\"%s\",\"n\":%d,"
+              "\"pool_threads\":%u,\"phase_seconds\":{",
+              p.name.c_str(), p.a.rows, ThreadPool::shared().size());
+  for (std::size_t ci = 0; ci < inner_counts.size(); ++ci) {
+    std::printf("%s\"inner%u\":%.6f", ci ? "," : "", inner_counts[ci],
+                phase_seconds[ci]);
+  }
+  std::printf("},\"speedup_inner4\":%.3f,\"factor_wall_seconds\":{",
+              phase_seconds.front() / phase_seconds.back());
+  for (std::size_t li = 0; li < layouts.size(); ++li) {
+    std::printf("%s\"%s\":%.6f", li ? "," : "", layouts[li].first.c_str(),
+                layouts[li].second);
+  }
+  std::printf("},\"identical\":%s}\n", identical ? "true" : "false");
+  return identical ? 0 : 1;
+}

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "direct/mindeg.hpp"
+#include "parallel/thread_pool.hpp"
 #include "reorder/postorder_rhs.hpp"
 #include "sparse/convert.hpp"
 #include "sparse/permute.hpp"
@@ -40,11 +41,15 @@ CscMatrix remap_rows_to_csc(const CsrMatrix& a,
 }
 
 // Column order for a multi-RHS solve per the configured strategy. `rhs` has
-// rows already in factor order.
-std::vector<index_t> choose_rhs_order(const CscMatrix& l, const CscMatrix& rhs,
-                                      const SchurAssemblyOptions& opt,
-                                      double& reorder_seconds) {
+// rows already in factor order. The Hypergraph strategy needs the per-column
+// solve patterns to build its row-net model; they are handed back through
+// `patterns_out` so the blocked solve can reuse them instead of re-running
+// every reach (left empty by the other strategies).
+std::vector<index_t> choose_rhs_order(
+    const CscMatrix& l, const CscMatrix& rhs, const SchurAssemblyOptions& opt,
+    double& reorder_seconds, std::vector<std::vector<index_t>>& patterns_out) {
   WallTimer t;
+  patterns_out.clear();
   std::vector<index_t> order(rhs.cols);
   std::iota(order.begin(), order.end(), 0);
   switch (opt.rhs_ordering) {
@@ -60,11 +65,11 @@ std::vector<index_t> choose_rhs_order(const CscMatrix& l, const CscMatrix& rhs,
       break;
     }
     case RhsOrdering::Hypergraph: {
-      const auto patterns = symbolic_solve_patterns(l, rhs);
+      patterns_out = symbolic_solve_patterns(l, rhs);
       HypergraphRhsOptions hopt = opt.hg_rhs;
       hopt.block_size = opt.rhs_block_size;
       hopt.seed = opt.seed;
-      order = hypergraph_rhs_ordering(patterns, rhs.rows, hopt).col_order;
+      order = hypergraph_rhs_ordering(patterns_out, rhs.rows, hopt).col_order;
       break;
     }
   }
@@ -96,24 +101,46 @@ CscMatrix unpermute_columns(const CscMatrix& in,
 
 }  // namespace
 
-CscMatrix drop_small_columns(const CscMatrix& a, double rel_tol) {
+CscMatrix drop_small_columns(const CscMatrix& a, double rel_tol,
+                             unsigned threads) {
+  // Two-pass so the sweep parallelizes over columns: count survivors per
+  // column, prefix-sum, then fill disjoint slices. Keep/drop is decided per
+  // entry, so the output matches the serial single-pass result exactly.
   CscMatrix out(a.rows, a.cols);
-  out.row_idx.reserve(a.row_idx.size());
-  out.values.reserve(a.values.size());
-  for (index_t j = 0; j < a.cols; ++j) {
-    value_t cmax = 0.0;
-    for (index_t q = a.col_ptr[j]; q < a.col_ptr[j + 1]; ++q) {
-      cmax = std::max(cmax, std::abs(a.values[q]));
-    }
-    const value_t cut = rel_tol * cmax;
-    for (index_t q = a.col_ptr[j]; q < a.col_ptr[j + 1]; ++q) {
-      if (std::abs(a.values[q]) >= cut && a.values[q] != 0.0) {
-        out.row_idx.push_back(a.row_idx[q]);
-        out.values.push_back(a.values[q]);
-      }
-    }
-    out.col_ptr[j + 1] = static_cast<index_t>(out.row_idx.size());
-  }
+  ThreadPool& pool = ThreadPool::shared();
+  std::vector<value_t> cut(a.cols, 0.0);
+  std::vector<index_t> keep(a.cols, 0);
+  parallel_ranges(pool, a.cols, threads,
+                  [&](unsigned, long long begin, long long end) {
+                    for (auto j = static_cast<index_t>(begin); j < end; ++j) {
+                      value_t cmax = 0.0;
+                      for (index_t q = a.col_ptr[j]; q < a.col_ptr[j + 1]; ++q) {
+                        cmax = std::max(cmax, std::abs(a.values[q]));
+                      }
+                      cut[j] = rel_tol * cmax;
+                      index_t k = 0;
+                      for (index_t q = a.col_ptr[j]; q < a.col_ptr[j + 1]; ++q) {
+                        if (std::abs(a.values[q]) >= cut[j] && a.values[q] != 0.0) ++k;
+                      }
+                      keep[j] = k;
+                    }
+                  });
+  for (index_t j = 0; j < a.cols; ++j) out.col_ptr[j + 1] = out.col_ptr[j] + keep[j];
+  out.row_idx.resize(out.col_ptr[a.cols]);
+  out.values.resize(out.col_ptr[a.cols]);
+  parallel_ranges(pool, a.cols, threads,
+                  [&](unsigned, long long begin, long long end) {
+                    for (auto j = static_cast<index_t>(begin); j < end; ++j) {
+                      index_t dst = out.col_ptr[j];
+                      for (index_t q = a.col_ptr[j]; q < a.col_ptr[j + 1]; ++q) {
+                        if (std::abs(a.values[q]) >= cut[j] && a.values[q] != 0.0) {
+                          out.row_idx[dst] = a.row_idx[q];
+                          out.values[dst] = a.values[q];
+                          ++dst;
+                        }
+                      }
+                    }
+                  });
   return out;
 }
 
@@ -153,17 +180,22 @@ SubdomainFactorization assemble_subdomain(const Subdomain& sub,
   for (index_t k = 0; k < nd; ++k) row_new_of[f.rowmap[k]] = k;
 
   // --- G = L⁻¹ (P Ê): blocked multi-RHS forward solve. ---
+  MultiRhsOptions mr;
+  mr.block_size = opt.rhs_block_size;
+  mr.threads = opt.inner_threads;
   f.nnz_ehat = sub.ehat.nnz();
   const CscMatrix ehat_perm = remap_rows_to_csc(sub.ehat, row_new_of);
-  std::vector<index_t> g_order =
-      choose_rhs_order(f.lu.lower, ehat_perm, opt, f.reorder_seconds);
+  std::vector<std::vector<index_t>> g_patterns;
+  std::vector<index_t> g_order = choose_rhs_order(f.lu.lower, ehat_perm, opt,
+                                                  f.reorder_seconds, g_patterns);
   timer.reset();
-  MultiRhsResult g_res = solve_multi_rhs_blocked(f.lu.lower, ehat_perm, g_order,
-                                                 opt.rhs_block_size);
+  mr.col_patterns = g_patterns.empty() ? nullptr : &g_patterns;
+  MultiRhsResult g_res =
+      solve_multi_rhs_blocked(f.lu.lower, ehat_perm, g_order, mr);
   f.solve_g_seconds = timer.seconds();
   f.g_stats = g_res.stats;
   CscMatrix g = unpermute_columns(g_res.solution, g_order);
-  g = drop_small_columns(g, opt.drop_wg);
+  g = drop_small_columns(g, opt.drop_wg, opt.inner_threads);
 
   // --- Wᵀ = U⁻ᵀ (F̂ P̄)ᵀ: same machinery on the transposed factor. ---
   // F̂ columns move to factor column order: new col index of old local c is
@@ -180,15 +212,16 @@ SubdomainFactorization assemble_subdomain(const Subdomain& sub,
   fhat_t.sort_cols();
 
   const CscMatrix ut = transpose(f.lu.upper);
+  std::vector<std::vector<index_t>> w_patterns;
   std::vector<index_t> w_order =
-      choose_rhs_order(ut, fhat_t, opt, f.reorder_seconds);
+      choose_rhs_order(ut, fhat_t, opt, f.reorder_seconds, w_patterns);
   timer.reset();
-  MultiRhsResult w_res =
-      solve_multi_rhs_blocked(ut, fhat_t, w_order, opt.rhs_block_size);
+  mr.col_patterns = w_patterns.empty() ? nullptr : &w_patterns;
+  MultiRhsResult w_res = solve_multi_rhs_blocked(ut, fhat_t, w_order, mr);
   f.solve_w_seconds = timer.seconds();
   f.w_stats = w_res.stats;
   CscMatrix wt = unpermute_columns(w_res.solution, w_order);
-  wt = drop_small_columns(wt, opt.drop_wg);
+  wt = drop_small_columns(wt, opt.drop_wg, opt.inner_threads);
 
   // Table III statistics of G̃.
   {
@@ -209,7 +242,7 @@ SubdomainFactorization assemble_subdomain(const Subdomain& sub,
   w_csr.col_idx = wt.row_idx;
   w_csr.values = wt.values;
   const CsrMatrix g_csr = csc_to_csr(g);
-  f.t_tilde = spgemm(w_csr, g_csr);
+  f.t_tilde = spgemm(w_csr, g_csr, opt.inner_threads);
   f.gemm_seconds = timer.seconds();
   return f;
 }
@@ -217,7 +250,7 @@ SubdomainFactorization assemble_subdomain(const Subdomain& sub,
 CsrMatrix assemble_schur(const CsrMatrix& c_block,
                          const std::vector<Subdomain>& subs,
                          const std::vector<SubdomainFactorization>& facts,
-                         double drop_s) {
+                         double drop_s, unsigned threads) {
   PDSLIN_CHECK(subs.size() == facts.size());
   const index_t ns = c_block.rows;
   CooMatrix acc(ns, ns);
@@ -240,22 +273,44 @@ CsrMatrix assemble_schur(const CsrMatrix& c_block,
   CsrMatrix s_hat = coo_to_csr(acc);
 
   // Relative drop against the largest magnitude in each row; keep diagonal.
+  // Row-parallel two-pass (count → prefix-sum → fill), same entries as the
+  // serial single-pass sweep.
   CsrMatrix s_tilde(ns, ns);
-  for (index_t i = 0; i < ns; ++i) {
-    value_t rmax = 0.0;
-    for (index_t q = s_hat.row_ptr[i]; q < s_hat.row_ptr[i + 1]; ++q) {
-      rmax = std::max(rmax, std::abs(s_hat.values[q]));
-    }
-    const value_t cut = drop_s * rmax;
-    for (index_t q = s_hat.row_ptr[i]; q < s_hat.row_ptr[i + 1]; ++q) {
-      const index_t j = s_hat.col_idx[q];
-      if (j == i || std::abs(s_hat.values[q]) >= cut) {
-        s_tilde.col_idx.push_back(j);
-        s_tilde.values.push_back(s_hat.values[q]);
-      }
-    }
-    s_tilde.row_ptr[i + 1] = static_cast<index_t>(s_tilde.col_idx.size());
-  }
+  ThreadPool& pool = ThreadPool::shared();
+  std::vector<value_t> cut(ns, 0.0);
+  std::vector<index_t> keep(ns, 0);
+  parallel_ranges(pool, ns, threads,
+                  [&](unsigned, long long begin, long long end) {
+                    for (auto i = static_cast<index_t>(begin); i < end; ++i) {
+                      value_t rmax = 0.0;
+                      for (index_t q = s_hat.row_ptr[i]; q < s_hat.row_ptr[i + 1]; ++q) {
+                        rmax = std::max(rmax, std::abs(s_hat.values[q]));
+                      }
+                      cut[i] = drop_s * rmax;
+                      index_t k = 0;
+                      for (index_t q = s_hat.row_ptr[i]; q < s_hat.row_ptr[i + 1]; ++q) {
+                        if (s_hat.col_idx[q] == i || std::abs(s_hat.values[q]) >= cut[i]) ++k;
+                      }
+                      keep[i] = k;
+                    }
+                  });
+  for (index_t i = 0; i < ns; ++i) s_tilde.row_ptr[i + 1] = s_tilde.row_ptr[i] + keep[i];
+  s_tilde.col_idx.resize(s_tilde.row_ptr[ns]);
+  s_tilde.values.resize(s_tilde.row_ptr[ns]);
+  parallel_ranges(pool, ns, threads,
+                  [&](unsigned, long long begin, long long end) {
+                    for (auto i = static_cast<index_t>(begin); i < end; ++i) {
+                      index_t dst = s_tilde.row_ptr[i];
+                      for (index_t q = s_hat.row_ptr[i]; q < s_hat.row_ptr[i + 1]; ++q) {
+                        const index_t j = s_hat.col_idx[q];
+                        if (j == i || std::abs(s_hat.values[q]) >= cut[i]) {
+                          s_tilde.col_idx[dst] = j;
+                          s_tilde.values[dst] = s_hat.values[q];
+                          ++dst;
+                        }
+                      }
+                    }
+                  });
   return s_tilde;
 }
 

@@ -25,6 +25,12 @@ struct SchurAssemblyOptions {
   RhsOrdering rhs_ordering = RhsOrdering::Postorder;
   LuOptions lu;
   HypergraphRhsOptions hg_rhs;
+  /// Inner workers per subdomain — the second level of the paper's
+  /// np = k × (np/k) hierarchy. Parallelizes the multi-RHS triangular
+  /// solves (across RHS blocks), the T̃ = W̃G̃ SpGEMM (across rows) and the
+  /// threshold-drop sweeps; 1 = serial. Results are bitwise identical for
+  /// any value.
+  unsigned inner_threads = 1;
   std::uint64_t seed = 1;
 };
 
@@ -60,13 +66,16 @@ SubdomainFactorization assemble_subdomain(const Subdomain& sub,
                                           const SchurAssemblyOptions& opt);
 
 /// Gather: Ŝ = C − Σ_ℓ T̃_ℓ mapped through (f_rows, e_cols), then drop-small
-/// (keeping the diagonal) → S̃.
+/// (keeping the diagonal) → S̃. The drop sweep is row-parallel when
+/// threads > 1 (the gather itself is a serial reduction).
 CsrMatrix assemble_schur(const CsrMatrix& c_block,
                          const std::vector<Subdomain>& subs,
                          const std::vector<SubdomainFactorization>& facts,
-                         double drop_s);
+                         double drop_s, unsigned threads = 1);
 
-/// Per-column relative threshold dropping for CSC blocks (W̃/G̃ step).
-CscMatrix drop_small_columns(const CscMatrix& a, double rel_tol);
+/// Per-column relative threshold dropping for CSC blocks (W̃/G̃ step);
+/// column-parallel when threads > 1.
+CscMatrix drop_small_columns(const CscMatrix& a, double rel_tol,
+                             unsigned threads = 1);
 
 }  // namespace pdslin

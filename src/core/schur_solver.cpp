@@ -90,16 +90,26 @@ void SchurSolver::factor() {
                                facts_[l].reorder_seconds +
                                facts_[l].gemm_seconds;
   };
+  // Two-level execution on the shared pool: at most opt_.threads subdomain
+  // tasks run concurrently (the outer k of the paper's np = k × (np/k)
+  // layout); each fans its RHS blocks / GEMM rows out with
+  // opt_.assembly.inner_threads workers. TaskGroup::wait helps execute
+  // queued tasks, so the nesting cannot deadlock on any pool size.
+  WallTimer timer;
   if (opt_.threads > 1) {
-    ThreadPool pool(opt_.threads);
-    parallel_for(pool, k, process_domain);
+    parallel_for(ThreadPool::shared(), k, process_domain, opt_.threads);
   } else {
     for (index_t l = 0; l < k; ++l) process_domain(l);
   }
+  stats_.subdomain_wall_seconds = timer.seconds();
 
-  WallTimer timer;
+  timer.reset();
   c_block_ = extract_separator_block(a_, dbbd_);
-  s_tilde_ = assemble_schur(c_block_, subs_, facts_, opt_.assembly.drop_s);
+  // The gather runs alone, so it may use the whole thread budget.
+  const unsigned gather_threads =
+      std::max(1u, opt_.threads) * std::max(1u, opt_.assembly.inner_threads);
+  s_tilde_ = assemble_schur(c_block_, subs_, facts_, opt_.assembly.drop_s,
+                            gather_threads);
   stats_.gather_seconds = timer.seconds();
   stats_.schur_nnz = s_tilde_.nnz();
 

@@ -38,9 +38,12 @@ struct SolverOptions {
   KrylovMethod krylov = KrylovMethod::Gmres;
   GmresOptions gmres;
   BicgstabOptions bicgstab;
-  /// Subdomain tasks (and the RHB recursion) run on a thread pool when > 1
-  /// (one-level parallelism); per-subdomain times are measured either way,
-  /// so the modeled parallel time in stats() is meaningful on any host.
+  /// Outer level of the paper's np = k × (np/k) processor layout: at most
+  /// this many subdomain tasks run concurrently (on the shared pool) when
+  /// > 1. The inner level — workers per subdomain — is
+  /// assembly.inner_threads; split_thread_budget() derives both from a flat
+  /// budget. Per-subdomain times are measured either way, so the modeled
+  /// parallel time in stats() is meaningful on any host.
   unsigned threads = 1;
   std::uint64_t seed = 1;
 };

@@ -55,6 +55,14 @@ double SolverStats::precond_seconds_serial() const {
          lu_s_seconds;
 }
 
+double SolverStats::subdomain_seconds_cpu() const {
+  return vec_sum(lu_d_seconds) + vec_sum(comp_s_seconds);
+}
+
+double SolverStats::subdomain_seconds_modeled() const {
+  return vec_max(lu_d_seconds) + vec_max(comp_s_seconds);
+}
+
 std::string SolverStats::summary() const {
   std::ostringstream os;
   os.precision(3);
@@ -63,6 +71,8 @@ std::string SolverStats::summary() const {
      << " | partition=" << partition_seconds << "s"
      << " LU(D)max=" << vec_max(lu_d_seconds) << "s"
      << " Comp(S)max=" << vec_max(comp_s_seconds) << "s"
+     << " subdomains[wall=" << subdomain_wall_seconds << "s cpu="
+     << subdomain_seconds_cpu() << "s]"
      << " LU(S~)=" << lu_s_seconds << "s"
      << " solve=" << solve_seconds << "s"
      << " | iters=" << iterations << " relres=";

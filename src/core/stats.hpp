@@ -18,6 +18,11 @@ struct SolverStats {
   // --- preconditioner phases (per subdomain where meaningful) ---
   std::vector<double> lu_d_seconds;      // LU(D_ℓ)
   std::vector<double> comp_s_seconds;    // G/W solves + T̃ per subdomain
+  /// Measured wall-clock of the whole (possibly parallel) subdomain loop.
+  /// With the two-level pool this is the real elapsed time; the per-subdomain
+  /// vectors above are per-task times, whose *sum* is aggregate CPU work and
+  /// whose *max* is the paper's modeled one-process-per-subdomain time.
+  double subdomain_wall_seconds = 0.0;
   double gather_seconds = 0.0;           // Ŝ assembly + sparsification
   double lu_s_seconds = 0.0;             // LU(S̃)
   long long schur_dim = 0;               // n_S
@@ -35,6 +40,12 @@ struct SolverStats {
   [[nodiscard]] double parallel_time_one_level() const;
   /// Total serial (measured) time of the preconditioner phases.
   [[nodiscard]] double precond_seconds_serial() const;
+  /// Aggregate CPU seconds of the subdomain phase: Σ_ℓ (LU(D_ℓ) + Comp(S_ℓ)).
+  /// Compare against subdomain_wall_seconds for the achieved speedup.
+  [[nodiscard]] double subdomain_seconds_cpu() const;
+  /// Modeled subdomain phase time at one process per subdomain:
+  /// max LU(D) + max Comp(S), the quantity the paper's §V tables report.
+  [[nodiscard]] double subdomain_seconds_modeled() const;
 
   [[nodiscard]] std::string summary() const;
 };

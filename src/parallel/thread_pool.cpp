@@ -1,7 +1,7 @@
 #include "parallel/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
-#include <exception>
 
 namespace pdslin {
 
@@ -24,56 +24,168 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push(std::move(task));
+    queue_.push_back({std::move(task), nullptr});
     ++in_flight_;
   }
   cv_task_.notify_one();
+  cv_done_.notify_all();  // waiters may want to help with the new task
 }
 
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
-  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+  while (in_flight_ > 0) {
+    if (!queue_.empty()) {
+      run_one(lock);
+    } else {
+      cv_done_.wait(lock, [this] { return in_flight_ == 0 || !queue_.empty(); });
+    }
+  }
+}
+
+void ThreadPool::run_one(std::unique_lock<std::mutex>& lock) {
+  Task task = std::move(queue_.front());
+  queue_.pop_front();
+  lock.unlock();
+  std::exception_ptr err;
+  try {
+    task.fn();
+  } catch (...) {
+    err = std::current_exception();
+  }
+  if (err && task.group == nullptr) {
+    // A detached task has nowhere to report: same fate as an exception
+    // escaping a plain worker thread.
+    std::terminate();
+  }
+  lock.lock();
+  --in_flight_;
+  if (task.group != nullptr) {
+    --task.group->pending_;
+    if (err && !task.group->error_) task.group->error_ = err;
+  }
+  cv_done_.notify_all();
 }
 
 void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop();
-    }
-    task();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      --in_flight_;
-    }
-    cv_done_.notify_all();
+    cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_ && queue_.empty()) return;
+    run_one(lock);
   }
 }
 
-void parallel_for(ThreadPool& pool, int count, const std::function<void(int)>& body) {
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  for (int i = 0; i < count; ++i) {
-    pool.submit([&, i] {
-      if (failed.load(std::memory_order_relaxed)) return;
-      try {
-        body(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!failed.exchange(true)) first_error = std::current_exception();
-      }
-    });
+TaskGroup::~TaskGroup() {
+  try {
+    wait();
+  } catch (...) {
+    // Destructor must not throw; failures are observable via wait().
   }
-  pool.wait_idle();
-  if (first_error) std::rethrow_exception(first_error);
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(pool_.mutex_);
+    pool_.queue_.push_back({std::move(fn), this});
+    ++pool_.in_flight_;
+    ++pending_;
+  }
+  pool_.cv_task_.notify_one();
+  pool_.cv_done_.notify_all();
+}
+
+void TaskGroup::wait() {
+  std::unique_lock<std::mutex> lock(pool_.mutex_);
+  while (pending_ > 0) {
+    if (!pool_.queue_.empty()) {
+      // Help-first: execute *some* queued task (not necessarily ours). Work
+      // we run either is ours or unblocks the worker that is running ours.
+      pool_.run_one(lock);
+    } else {
+      pool_.cv_done_.wait(
+          lock, [this] { return pending_ == 0 || !pool_.queue_.empty(); });
+    }
+  }
+  if (error_) {
+    std::exception_ptr err = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+ThreadBudget split_thread_budget(unsigned total, unsigned outer_tasks) {
+  if (total == 0) total = std::max(1u, std::thread::hardware_concurrency());
+  if (outer_tasks == 0) outer_tasks = 1;
+  ThreadBudget b;
+  b.outer = std::max(1u, std::min(total, outer_tasks));
+  b.inner = std::max(1u, total / b.outer);
+  return b;
+}
+
+void parallel_for(ThreadPool& pool, int count, const std::function<void(int)>& body,
+                  unsigned max_tasks) {
+  if (count <= 0) return;
+  // Best-effort cancellation: once a task throws, the rest become no-ops so
+  // the first exception surfaces quickly.
+  std::atomic<bool> failed{false};
+  auto guarded = [&](int i) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    try {
+      body(i);
+    } catch (...) {
+      failed.store(true, std::memory_order_relaxed);
+      throw;
+    }
+  };
+  TaskGroup group(pool);
+  if (max_tasks == 0 || max_tasks >= static_cast<unsigned>(count)) {
+    for (int i = 0; i < count; ++i) {
+      group.run([&guarded, i] { guarded(i); });
+    }
+  } else {
+    const auto chunks = static_cast<int>(max_tasks);
+    for (int c = 0; c < chunks; ++c) {
+      const int begin = static_cast<int>((static_cast<long long>(count) * c) / chunks);
+      const int end = static_cast<int>((static_cast<long long>(count) * (c + 1)) / chunks);
+      if (begin == end) continue;
+      group.run([&guarded, &failed, begin, end] {
+        for (int i = begin; i < end; ++i) {
+          if (failed.load(std::memory_order_relaxed)) return;
+          guarded(i);
+        }
+      });
+    }
+  }
+  group.wait();
+}
+
+void parallel_ranges(ThreadPool& pool, long long count, unsigned workers,
+                     const std::function<void(unsigned, long long, long long)>& body) {
+  if (count <= 0) return;
+  workers = std::max<unsigned>(
+      1u, static_cast<unsigned>(
+              std::min<long long>(workers, count)));
+  if (workers == 1) {
+    body(0, 0, count);
+    return;
+  }
+  TaskGroup group(pool);
+  for (unsigned w = 0; w < workers; ++w) {
+    const long long begin = (count * w) / workers;
+    const long long end = (count * (w + 1)) / workers;
+    if (begin == end) continue;
+    group.run([&body, w, begin, end] { body(w, begin, end); });
+  }
+  group.wait();
 }
 
 }  // namespace pdslin

@@ -1,20 +1,28 @@
-// Minimal work-stealing-free thread pool + parallel_for.
+// Nesting-safe thread pool: the second ("intra-subdomain") level of the
+// paper's hierarchy.
 //
-// PDSLin distributes subdomains over MPI ranks; here each subdomain is a
-// task. On a single-core host the pool degrades to serial execution, and
-// the benchmark drivers report the *modeled* parallel time
-// max_ℓ(per-subdomain work) — the same quantity the paper's inter-processor
-// load-balance study measures (§V: one process per subdomain).
+// PDSLin assigns a *group* of processors to each subdomain (§II, §V): work is
+// parallel both across subdomains and within one. The pool mirrors that with
+// a process-wide shared pool plus TaskGroup, whose wait() *helps execute*
+// queued tasks instead of blocking — so a worker running one subdomain task
+// can fan out its RHS blocks onto the same pool without deadlock, even on a
+// single-thread pool (the waiter drains the queue itself). On a single-core
+// host everything degrades to serial execution with identical results; the
+// benchmark drivers additionally report the *modeled* parallel time
+// max_ℓ(per-subdomain work), the quantity the paper's §V study measures.
 #pragma once
 
 #include <condition_variable>
+#include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
 namespace pdslin {
+
+class TaskGroup;
 
 class ThreadPool {
  public:
@@ -25,26 +33,101 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a task; wait_idle() blocks until all enqueued tasks finish.
+  /// Enqueue a detached task; wait_idle() blocks until every enqueued task
+  /// (detached or grouped) has finished. A detached task must not throw.
   void submit(std::function<void()> task);
+  /// Wait until the pool has no queued or running tasks. The calling thread
+  /// helps execute queued tasks while it waits (nesting-safe).
   void wait_idle();
 
   [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
+  /// Process-wide pool shared by both hierarchy levels (outer subdomain
+  /// tasks and inner per-subdomain workers). Sized to hardware_concurrency
+  /// on first use. Correctness never depends on its size: callers waiting on
+  /// a TaskGroup execute queued tasks themselves.
+  static ThreadPool& shared();
+
  private:
+  friend class TaskGroup;
+
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group;  // nullptr → detached submit()
+  };
+
   void worker_loop();
+  /// Pop and run one queued task. Requires `lock` held on mutex_; drops it
+  /// while the task runs and reacquires before returning.
+  void run_one(std::unique_lock<std::mutex>& lock);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::mutex mutex_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_done_;
-  unsigned in_flight_ = 0;
+  std::condition_variable cv_task_;  // workers: queue non-empty or stop
+  std::condition_variable cv_done_;  // waiters: a task finished or new work to help with
+  unsigned in_flight_ = 0;           // queued + running, all tasks
   bool stop_ = false;
 };
 
-/// Run body(i) for i in [0, count) on the pool (blocking). Exceptions from
-/// tasks propagate (first one wins).
-void parallel_for(ThreadPool& pool, int count, const std::function<void(int)>& body);
+/// A set of tasks that can be waited on together. wait() rethrows the first
+/// exception recorded by a failed task (the others complete or are skipped by
+/// the caller's own cancellation flag, if any) and leaves the group reusable.
+///
+/// Nesting: a task running on the pool may create its own TaskGroup on the
+/// *same* pool and wait on it — wait() executes queued tasks (of any group)
+/// while the group is unfinished, so progress is guaranteed with any number
+/// of workers, including one.
+class TaskGroup {
+ public:
+  /// Bind to a pool; defaults to the process-wide shared pool.
+  explicit TaskGroup(ThreadPool& pool = ThreadPool::shared()) : pool_(pool) {}
+  /// Waits for stragglers; any stored exception is swallowed (call wait()
+  /// yourself to observe failures).
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void run(std::function<void()> fn);
+  void wait();
+
+ private:
+  friend class ThreadPool;
+
+  ThreadPool& pool_;
+  unsigned pending_ = 0;        // guarded by pool_.mutex_
+  std::exception_ptr error_;    // first failure, guarded by pool_.mutex_
+};
+
+/// The paper's np = k × (np/k) processor layout (§V): split a total thread
+/// budget into `outer` concurrent tasks × `inner` workers each.
+struct ThreadBudget {
+  unsigned outer = 1;
+  unsigned inner = 1;
+};
+
+/// total == 0 → hardware_concurrency. outer ≤ min(outer_tasks, total),
+/// inner = total / outer (≥ 1), so outer × inner ≤ max(total, outer_tasks).
+ThreadBudget split_thread_budget(unsigned total, unsigned outer_tasks);
+
+/// Run body(i) for i in [0, count) on the pool (blocking; the calling thread
+/// helps). Exceptions from tasks propagate: exactly one — the first recorded
+/// — is rethrown, remaining iterations are skipped on a best-effort basis,
+/// and the pool stays reusable.
+///
+/// max_tasks == 0 → one task per index (fine-grained, dynamic balance).
+/// max_tasks == t → at most t contiguous chunks, bounding this loop's
+/// concurrency to t regardless of pool size (the outer level of the
+/// two-level budget).
+void parallel_for(ThreadPool& pool, int count, const std::function<void(int)>& body,
+                  unsigned max_tasks = 0);
+
+/// Split [0, count) into at most `workers` contiguous ranges and run
+/// body(range_index, begin, end) for each concurrently. range_index < workers
+/// identifies the range, so callers can give each range its own scratch
+/// state. Serial (no pool traffic) when workers <= 1 or count <= 1.
+void parallel_ranges(ThreadPool& pool, long long count, unsigned workers,
+                     const std::function<void(unsigned, long long, long long)>& body);
 
 }  // namespace pdslin

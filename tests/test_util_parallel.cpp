@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <string>
 
 #include "parallel/cost_model.hpp"
 #include "parallel/thread_pool.hpp"
@@ -102,6 +103,136 @@ TEST(ParallelFor, CoversRangeAndPropagatesErrors) {
                      if (i == 7) throw Error("boom");
                    }),
       Error);
+}
+
+TEST(ParallelFor, ChunkedCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  for (unsigned max_tasks : {1u, 2u, 3u, 7u, 100u}) {
+    std::vector<std::atomic<int>> hits(23);
+    parallel_for(pool, 23, [&](int i) { hits[i].fetch_add(1); }, max_tasks);
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1) << max_tasks;
+  }
+}
+
+// Regression for the "first exception wins" contract: under many concurrent
+// throws exactly one exception propagates (one of the thrown ones), and the
+// pool stays fully reusable afterwards.
+TEST(ParallelFor, ConcurrentThrowsYieldOneErrorAndReusablePool) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    int caught = 0;
+    std::string message;
+    try {
+      parallel_for(pool, 16, [&](int i) {
+        throw Error("boom " + std::to_string(i));
+      });
+    } catch (const Error& e) {
+      ++caught;
+      message = e.what();
+    }
+    EXPECT_EQ(caught, 1) << round;
+    EXPECT_EQ(message.rfind("boom ", 0), 0u) << message;
+
+    // The pool must be intact: a follow-up loop runs every index.
+    std::vector<std::atomic<int>> hits(32);
+    parallel_for(pool, 32, [&](int i) { hits[i].fetch_add(1); });
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(TaskGroup, RunsTasksAndIsReusable) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 40; ++i) {
+    group.run([&counter] { counter.fetch_add(1); });
+  }
+  group.wait();
+  EXPECT_EQ(counter.load(), 40);
+  // Same group again after wait().
+  for (int i = 0; i < 7; ++i) group.run([&counter] { counter.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(counter.load(), 47);
+}
+
+TEST(TaskGroup, WaitRethrowsFirstRecordedError) {
+  ThreadPool pool(3);
+  TaskGroup group(pool);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    group.run([&ran, i] {
+      ran.fetch_add(1);
+      if (i % 2 == 0) throw Error("task failed");
+    });
+  }
+  EXPECT_THROW(group.wait(), Error);
+  EXPECT_EQ(ran.load(), 8);  // no cancellation at the TaskGroup layer
+  // Error consumed: next wait() on fresh tasks succeeds.
+  group.run([&ran] { ran.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(ran.load(), 9);
+}
+
+// The load-bearing property of the rewrite: an outer parallel_for whose
+// bodies run inner parallel_fors on the SAME pool must not deadlock, even
+// when the pool is smaller than the outer width — wait() helps execute
+// queued tasks instead of blocking. This is the subdomain-task →
+// RHS-block-fan-out nesting of the two-level solver.
+TEST(TaskGroup, NestedParallelForDoesNotDeadlock) {
+  for (unsigned pool_threads : {1u, 2u, 4u}) {
+    ThreadPool pool(pool_threads);
+    std::atomic<int> counter{0};
+    parallel_for(pool, 8, [&](int) {
+      parallel_for(pool, 8, [&](int) {
+        parallel_for(pool, 2, [&](int) { counter.fetch_add(1); });
+      });
+    });
+    EXPECT_EQ(counter.load(), 8 * 8 * 2) << pool_threads;
+  }
+}
+
+TEST(TaskGroup, NestedStressOnSharedPool) {
+  std::atomic<int> counter{0};
+  parallel_for(ThreadPool::shared(), 16, [&](int) {
+    TaskGroup inner;  // defaults to the shared pool
+    for (int j = 0; j < 16; ++j) {
+      inner.run([&counter] { counter.fetch_add(1); });
+    }
+    inner.wait();
+  });
+  EXPECT_EQ(counter.load(), 16 * 16);
+}
+
+TEST(ParallelRanges, PartitionsAndRunsSerialFallback) {
+  ThreadPool pool(3);
+  for (unsigned workers : {1u, 2u, 5u, 64u}) {
+    std::vector<std::atomic<int>> hits(37);
+    parallel_ranges(pool, 37, workers,
+                    [&](unsigned, long long begin, long long end) {
+                      for (long long i = begin; i < end; ++i) {
+                        hits[static_cast<std::size_t>(i)].fetch_add(1);
+                      }
+                    });
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1) << workers;
+  }
+}
+
+TEST(ThreadBudget, SplitMirrorsPaperLayout) {
+  // np = 8, k = 4 subdomains → 4 groups of 2 (paper §V).
+  const ThreadBudget b = split_thread_budget(8, 4);
+  EXPECT_EQ(b.outer, 4u);
+  EXPECT_EQ(b.inner, 2u);
+  // Budget smaller than the task count: outer clamps to the budget.
+  const ThreadBudget c = split_thread_budget(2, 8);
+  EXPECT_EQ(c.outer, 2u);
+  EXPECT_EQ(c.inner, 1u);
+  // Degenerate inputs stay at least 1×1.
+  const ThreadBudget d = split_thread_budget(1, 0);
+  EXPECT_EQ(d.outer, 1u);
+  EXPECT_EQ(d.inner, 1u);
+  const ThreadBudget e = split_thread_budget(0, 4);
+  EXPECT_GE(e.outer, 1u);
+  EXPECT_GE(e.inner, 1u);
 }
 
 TEST(CostModel, SpeedupMonotoneInCores) {

@@ -14,7 +14,13 @@
 //   --block-size B            multi-RHS block size            [60]
 //   --drop-wg X / --drop-s X  dropping thresholds             [1e-6 / 1e-5]
 //   --krylov gmres|bicgstab   Schur iterative method          [gmres]
-//   --threads N               subdomain-level threads         [1]
+//   --threads N               outer threads: concurrent subdomain tasks [1]
+//   --inner-threads M         inner workers per subdomain task          [1]
+//                             (two-level budget np = N × M, mirroring the
+//                             paper's k subdomain groups of np/k processors;
+//                             M parallelizes the multi-RHS solves, the T̃
+//                             SpGEMM and the drop sweeps — results are
+//                             bitwise independent of N and M)
 //   --seed N                  RNG seed                        [1]
 //   --verbose                 info-level logging
 #include <cstdio>
@@ -114,6 +120,8 @@ int main(int argc, char** argv) {
       if (krylov != "gmres" && krylov != "bicgstab") usage("unknown --krylov");
     } else if (arg == "--threads") {
       opt.threads = static_cast<unsigned>(std::atoi(next()));
+    } else if (arg == "--inner-threads") {
+      opt.assembly.inner_threads = static_cast<unsigned>(std::atoi(next()));
     } else if (arg == "--seed") {
       opt.seed = static_cast<std::uint64_t>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--verbose") {
