@@ -125,25 +125,82 @@ void SchurSolver::factor() {
     stats_.precond_nnz = 0;
   }
 
+  // Preallocate the solve path so every later solve() runs without touching
+  // the heap inside the Schur operator.
+  solve_ws_.clear();
+  ensure_solve_workspaces();
+
   factor_done_ = true;
   log_info("factor: LU(S~) nnz=", stats_.precond_nnz, " (",
            stats_.lu_s_seconds, "s)");
 }
 
-void SchurSolver::domain_solve(index_t l, std::span<const value_t> b,
-                               std::span<value_t> z) const {
+void SchurSolver::ensure_solve_workspaces() {
+  const index_t k = opt_.num_subdomains;
+  const index_t ns = dbbd_.separator_size();
+  if (solve_ws_.size() != static_cast<std::size_t>(k)) {
+    solve_ws_.assign(k, {});
+    ++solve_scratch_allocs_;
+    for (index_t l = 0; l < k; ++l) {
+      const Subdomain& sub = subs_[l];
+      SubdomainSolveScratch& ws = solve_ws_[l];
+      const auto nd = static_cast<std::size_t>(sub.d.rows);
+      ws.v.resize(sub.e_cols.size());
+      ws.t.resize(nd);
+      ws.z.resize(nd);
+      ws.w.resize(nd);
+      ws.r.resize(sub.f_rows.size());
+      ws.dinv_f.resize(nd);
+      solve_scratch_allocs_ += 6;
+    }
+  }
+  if (ghat_.size() < static_cast<std::size_t>(ns)) {
+    ghat_.resize(ns);
+    y_.resize(ns);
+    solve_scratch_allocs_ += 2;
+  }
+  stats_.solve_workspace_allocs =
+      solve_scratch_allocs_ + gmres_ws_.allocations + bicgstab_ws_.allocations;
+}
+
+void SchurSolver::for_each_subdomain(
+    const std::function<void(int)>& body) const {
+  const index_t k = opt_.num_subdomains;
+  if (opt_.threads > 1 && k > 1) {
+    parallel_for(ThreadPool::shared(), k, body, opt_.threads);
+  } else {
+    for (index_t l = 0; l < k; ++l) body(l);
+  }
+}
+
+void SchurSolver::domain_solve_scratch(index_t l, std::span<const value_t> b,
+                                       std::span<value_t> z,
+                                       std::vector<value_t>& w) const {
   const SubdomainFactorization& f = facts_[l];
   const index_t nd = f.lu.n;
   PDSLIN_CHECK(b.size() == static_cast<std::size_t>(nd));
   PDSLIN_CHECK(z.size() == static_cast<std::size_t>(nd));
-  std::vector<value_t> w(nd);
-  for (index_t kk = 0; kk < nd; ++kk) w[kk] = b[f.rowmap[kk]];
-  lower_solve_dense(f.lu.lower, w, /*unit_diag=*/true);
-  upper_solve_dense(f.lu.upper, w);
-  for (index_t j = 0; j < nd; ++j) z[f.colmap[j]] = w[j];
+  PDSLIN_ASSERT(w.size() >= static_cast<std::size_t>(nd));
+  const std::span<value_t> ws(w.data(), static_cast<std::size_t>(nd));
+  for (index_t kk = 0; kk < nd; ++kk) ws[kk] = b[f.rowmap[kk]];
+  lower_solve_dense(f.lu.lower, ws, /*unit_diag=*/true);
+  upper_solve_dense(f.lu.upper, ws);
+  for (index_t j = 0; j < nd; ++j) z[f.colmap[j]] = ws[j];
+}
+
+void SchurSolver::domain_solve(index_t l, std::span<const value_t> b,
+                               std::span<value_t> z) const {
+  std::vector<value_t> w(facts_[l].lu.n);
+  domain_solve_scratch(l, b, z, w);
 }
 
 // Implicit Schur operator: S y = C y − Σ_ℓ F̂_ℓ D_ℓ⁻¹ Ê_ℓ (R_Eᵀ y).
+//
+// The per-subdomain sweeps write only into their own preallocated scratch
+// and run concurrently under the outer thread budget; the separator-row
+// subtractions are then stitched serially in subdomain order, so the result
+// is bitwise identical to the serial sweep for any thread count (the same
+// block-ordered-stitching discipline as direct/multirhs.cpp).
 class SchurSolver::SchurOperator final : public LinearOperator {
  public:
   explicit SchurOperator(const SchurSolver& s) : s_(s) {}
@@ -151,21 +208,26 @@ class SchurSolver::SchurOperator final : public LinearOperator {
     return s_.dbbd_.separator_size();
   }
   void apply(std::span<const value_t> y, std::span<value_t> out) const override {
+    ++s_.stats_.operator_applies;
+    ++s_.stats_.solve_applies;
     spmv(s_.c_block_, y, out);
+    s_.for_each_subdomain([&](int l) {
+      const Subdomain& sub = s_.subs_[l];
+      SubdomainSolveScratch& ws = s_.solve_ws_[l];
+      for (std::size_t c = 0; c < sub.e_cols.size(); ++c) {
+        ws.v[c] = y[sub.e_cols[c]];
+      }
+      spmv(sub.ehat, ws.v, ws.t);
+      s_.domain_solve_scratch(l, ws.t, ws.z, ws.w);
+      spmv(sub.fhat, ws.z, ws.r);
+    });
+    // Deterministic stitch: subdomains may share separator rows, so the
+    // subtraction order is fixed to ascending ℓ regardless of schedule.
     for (index_t l = 0; l < s_.opt_.num_subdomains; ++l) {
       const Subdomain& sub = s_.subs_[l];
-      const index_t nd = sub.d.rows;
-      std::vector<value_t> v(sub.e_cols.size());
-      for (std::size_t c = 0; c < sub.e_cols.size(); ++c) {
-        v[c] = y[sub.e_cols[c]];
-      }
-      std::vector<value_t> t(nd), z(nd);
-      spmv(sub.ehat, v, t);
-      s_.domain_solve(l, t, z);
-      std::vector<value_t> r(sub.f_rows.size());
-      spmv(sub.fhat, z, r);
+      const SubdomainSolveScratch& ws = s_.solve_ws_[l];
       for (std::size_t fr = 0; fr < sub.f_rows.size(); ++fr) {
-        out[sub.f_rows[fr]] -= r[fr];
+        out[sub.f_rows[fr]] -= ws.r[fr];
       }
     }
   }
@@ -174,69 +236,114 @@ class SchurSolver::SchurOperator final : public LinearOperator {
   const SchurSolver& s_;
 };
 
-GmresResult SchurSolver::solve(std::span<const value_t> b,
-                               std::span<value_t> x) {
-  PDSLIN_CHECK_MSG(factor_done_, "call factor() before solve()");
-  PDSLIN_CHECK(b.size() == static_cast<std::size_t>(a_.rows));
-  PDSLIN_CHECK(x.size() == static_cast<std::size_t>(a_.rows));
-  WallTimer timer;
-
+GmresResult SchurSolver::solve_column(const SchurOperator& op,
+                                      std::span<const value_t> b,
+                                      std::span<value_t> x) {
   const index_t k = opt_.num_subdomains;
   const index_t ns = dbbd_.separator_size();
   const index_t sep_begin = dbbd_.domain_offset[k];
+  const std::span<value_t> ghat(ghat_.data(), static_cast<std::size_t>(ns));
+  const std::span<value_t> y(y_.data(), static_cast<std::size_t>(ns));
 
-  // ĝ = g − Σ F_ℓ D_ℓ⁻¹ f_ℓ.
-  std::vector<value_t> ghat(ns);
+  // ĝ = g − Σ F_ℓ D_ℓ⁻¹ f_ℓ. The D_ℓ⁻¹ f_ℓ solves and F̂ products run
+  // per-subdomain in parallel (disjoint scratch); the reduction onto ĝ is
+  // stitched serially in subdomain order, exactly like the operator apply.
   for (index_t s = 0; s < ns; ++s) ghat[s] = b[dbbd_.perm[sep_begin + s]];
-  std::vector<std::vector<value_t>> dinv_f(k);  // kept for back-substitution
-  for (index_t l = 0; l < k; ++l) {
+  for_each_subdomain([&](int l) {
     const Subdomain& sub = subs_[l];
     const index_t nd = sub.d.rows;
-    std::vector<value_t> f(nd);
+    SubdomainSolveScratch& ws = solve_ws_[l];
+    const std::span<value_t> f(ws.t.data(), static_cast<std::size_t>(nd));
     for (index_t i = 0; i < nd; ++i) f[i] = b[sub.interior[i]];
-    dinv_f[l].resize(nd);
-    domain_solve(l, f, dinv_f[l]);
-    std::vector<value_t> r(sub.f_rows.size());
-    spmv(sub.fhat, dinv_f[l], r);
+    domain_solve_scratch(l, f, ws.dinv_f, ws.w);
+    spmv(sub.fhat, ws.dinv_f, ws.r);
+  });
+  for (index_t l = 0; l < k; ++l) {
+    const Subdomain& sub = subs_[l];
+    const SubdomainSolveScratch& ws = solve_ws_[l];
     for (std::size_t fr = 0; fr < sub.f_rows.size(); ++fr) {
-      ghat[sub.f_rows[fr]] -= r[fr];
+      ghat[sub.f_rows[fr]] -= ws.r[fr];
     }
   }
 
   // Krylov solve of the Schur system with the LU(S̃) preconditioner.
-  const SchurOperator op(*this);
-  std::vector<value_t> y(ns, 0.0);
+  std::fill(y.begin(), y.end(), 0.0);
   GmresResult res;
   if (opt_.krylov == KrylovMethod::Bicgstab) {
-    const BicgstabResult br =
-        bicgstab(op, precond_.get(), ghat, y, opt_.bicgstab);
+    const BicgstabResult br = bicgstab(op, precond_.get(), ghat, y,
+                                       opt_.bicgstab, &bicgstab_ws_);
     res.iterations = br.iterations;
     res.relative_residual = br.relative_residual;
     res.converged = br.converged;
   } else {
-    res = gmres(op, precond_.get(), ghat, y, opt_.gmres);
+    res = gmres(op, precond_.get(), ghat, y, opt_.gmres, &gmres_ws_);
   }
 
   // Back-substitution: u_ℓ = D_ℓ⁻¹ (f_ℓ − E_ℓ y) = dinv_f − D⁻¹ Ê (R y).
-  for (index_t l = 0; l < k; ++l) {
+  // Interior index sets are disjoint across subdomains, so the x writes
+  // need no stitching.
+  for_each_subdomain([&](int l) {
     const Subdomain& sub = subs_[l];
     const index_t nd = sub.d.rows;
-    std::vector<value_t> v(sub.e_cols.size());
-    for (std::size_t c = 0; c < sub.e_cols.size(); ++c) v[c] = y[sub.e_cols[c]];
-    std::vector<value_t> t(nd), z(nd);
-    spmv(sub.ehat, v, t);
-    domain_solve(l, t, z);
-    for (index_t i = 0; i < nd; ++i) {
-      x[sub.interior[i]] = dinv_f[l][i] - z[i];
+    SubdomainSolveScratch& ws = solve_ws_[l];
+    for (std::size_t c = 0; c < sub.e_cols.size(); ++c) {
+      ws.v[c] = y[sub.e_cols[c]];
     }
-  }
+    spmv(sub.ehat, ws.v, ws.t);
+    domain_solve_scratch(l, ws.t, ws.z, ws.w);
+    for (index_t i = 0; i < nd; ++i) {
+      x[sub.interior[i]] = ws.dinv_f[i] - ws.z[i];
+    }
+  });
   for (index_t s = 0; s < ns; ++s) x[dbbd_.perm[sep_begin + s]] = y[s];
+  return res;
+}
+
+std::vector<GmresResult> SchurSolver::solve_multi(std::span<const value_t> b,
+                                                  std::span<value_t> x,
+                                                  index_t nrhs) {
+  PDSLIN_CHECK_MSG(factor_done_, "call factor() before solve()");
+  PDSLIN_CHECK_MSG(nrhs >= 1, "need at least one right-hand side");
+  const auto n = static_cast<std::size_t>(a_.rows);
+  PDSLIN_CHECK(b.size() == n * static_cast<std::size_t>(nrhs));
+  PDSLIN_CHECK(x.size() == n * static_cast<std::size_t>(nrhs));
+  WallTimer timer;
+  CpuTimer cpu;
+
+  ensure_solve_workspaces();
+  stats_.solve_applies = 0;
+  const SchurOperator op(*this);
+
+  // One operator, preconditioner and workspace set serves every column.
+  std::vector<GmresResult> results;
+  results.reserve(nrhs);
+  for (index_t j = 0; j < nrhs; ++j) {
+    results.push_back(
+        solve_column(op, b.subspan(j * n, n), x.subspan(j * n, n)));
+  }
 
   stats_.solve_seconds = timer.seconds();
-  stats_.iterations = res.iterations;
-  stats_.relative_residual = res.relative_residual;
-  stats_.converged = res.converged;
-  return res;
+  stats_.solve_cpu_seconds = cpu.seconds();
+  stats_.nrhs = nrhs;
+  stats_.iterations = 0;
+  stats_.relative_residual = 0.0;
+  stats_.converged = true;
+  for (const GmresResult& r : results) {
+    stats_.iterations += r.iterations;
+    stats_.relative_residual =
+        std::max(stats_.relative_residual, r.relative_residual);
+    stats_.converged = stats_.converged && r.converged;
+  }
+  // Workspace growth, if any, happened during this batch; refresh the
+  // exported counter so callers can pin the allocation-free steady state.
+  stats_.solve_workspace_allocs =
+      solve_scratch_allocs_ + gmres_ws_.allocations + bicgstab_ws_.allocations;
+  return results;
+}
+
+GmresResult SchurSolver::solve(std::span<const value_t> b,
+                               std::span<value_t> x) {
+  return solve_multi(b, x, 1).front();
 }
 
 }  // namespace pdslin

@@ -6,6 +6,7 @@
 // operator → interior back-substitution.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -40,10 +41,14 @@ struct SolverOptions {
   BicgstabOptions bicgstab;
   /// Outer level of the paper's np = k × (np/k) processor layout: at most
   /// this many subdomain tasks run concurrently (on the shared pool) when
-  /// > 1. The inner level — workers per subdomain — is
-  /// assembly.inner_threads; split_thread_budget() derives both from a flat
-  /// budget. Per-subdomain times are measured either way, so the modeled
-  /// parallel time in stats() is meaningful on any host.
+  /// > 1 — in factor() *and* in every iterative-solve subdomain sweep (the
+  /// implicit Schur operator, the ĝ reduction, the back-substitution). The
+  /// inner level — workers per subdomain — is assembly.inner_threads;
+  /// split_thread_budget() derives both from a flat budget. Per-subdomain
+  /// times are measured either way, so the modeled parallel time in
+  /// stats() is meaningful on any host. Solve results are bitwise
+  /// independent of the thread count (deterministic block-ordered
+  /// stitching of the separator reductions).
   unsigned threads = 1;
   std::uint64_t seed = 1;
 };
@@ -58,11 +63,21 @@ class SchurSolver {
   /// a clique cover internally. NGD ignores `incidence`.
   void setup(const CsrMatrix* incidence = nullptr);
 
-  /// Phase 2 — subdomain factorizations, S̃ assembly, LU(S̃).
+  /// Phase 2 — subdomain factorizations, S̃ assembly, LU(S̃). Also
+  /// preallocates the per-subdomain solve workspaces, so the solve phase
+  /// runs allocation-free.
   void factor();
 
-  /// Phase 3 — solve A x = b (callable repeatedly).
+  /// Phase 3 — solve A x = b (callable repeatedly; no heap allocation in
+  /// the Schur operator after the first call).
   GmresResult solve(std::span<const value_t> b, std::span<value_t> x);
+
+  /// Batched phase 3 — solve A X = B for nrhs right-hand sides stored
+  /// column-major (column j occupies [j·n, (j+1)·n) of `b` / `x`). One
+  /// operator, preconditioner and workspace set is shared across columns;
+  /// per-column results are returned in order.
+  std::vector<GmresResult> solve_multi(std::span<const value_t> b,
+                                       std::span<value_t> x, index_t nrhs);
 
   [[nodiscard]] const SolverStats& stats() const { return stats_; }
   [[nodiscard]] const CsrMatrix& matrix() const { return a_; }
@@ -81,6 +96,35 @@ class SchurSolver {
  private:
   class SchurOperator;
 
+  /// Everything one subdomain's solve-path sweep mutates, preallocated in
+  /// factor() (the per-worker scratch idiom of direct/multirhs.cpp): the
+  /// packed interface gather, the Ê·v product, the D⁻¹ result, the
+  /// triangular-solve permutation scratch, the F̂·z product, and D⁻¹f kept
+  /// from the ĝ reduction for the back-substitution.
+  struct SubdomainSolveScratch {
+    std::vector<value_t> v;       // |e_cols| packed interface values
+    std::vector<value_t> t;       // Ê·v (interior dim)
+    std::vector<value_t> z;       // D⁻¹·t (interior dim)
+    std::vector<value_t> w;       // permuted trisolve scratch (interior dim)
+    std::vector<value_t> r;       // F̂·z (|f_rows|)
+    std::vector<value_t> dinv_f;  // D⁻¹·f (interior dim)
+  };
+
+  /// domain_solve through caller-provided scratch (no allocation).
+  void domain_solve_scratch(index_t l, std::span<const value_t> b,
+                            std::span<value_t> z,
+                            std::vector<value_t>& w) const;
+  /// Allocate (idempotently) the solve-path workspaces; counts allocation
+  /// events into solve_scratch_allocs_.
+  void ensure_solve_workspaces();
+  /// Run body(l) for every subdomain, fanned out over opt_.threads when
+  /// > 1 (serial otherwise). Used by the operator apply, the ĝ reduction
+  /// and the back-substitution.
+  void for_each_subdomain(const std::function<void(int)>& body) const;
+  /// One column of the batched solve; assumes workspaces exist.
+  GmresResult solve_column(const SchurOperator& op, std::span<const value_t> b,
+                           std::span<value_t> x);
+
   CsrMatrix a_;
   SolverOptions opt_;
   DbbdPartition dbbd_;
@@ -89,9 +133,18 @@ class SchurSolver {
   CsrMatrix c_block_;
   CsrMatrix s_tilde_;
   std::unique_ptr<SchurPreconditioner> precond_;
-  SolverStats stats_;
+  // Mutable: the (const) Schur operator apply bumps the apply counters.
+  mutable SolverStats stats_;
   bool setup_done_ = false;
   bool factor_done_ = false;
+
+  // Solve-path workspaces (mutable: the Schur operator's apply() is const
+  // but reuses the per-subdomain scratch; solve() itself serializes use).
+  mutable std::vector<SubdomainSolveScratch> solve_ws_;
+  std::vector<value_t> ghat_, y_;
+  GmresWorkspace gmres_ws_;
+  BicgstabWorkspace bicgstab_ws_;
+  long long solve_scratch_allocs_ = 0;
 };
 
 }  // namespace pdslin

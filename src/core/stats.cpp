@@ -63,6 +63,16 @@ double SolverStats::subdomain_seconds_modeled() const {
   return vec_max(lu_d_seconds) + vec_max(comp_s_seconds);
 }
 
+double SolverStats::seconds_per_apply() const {
+  return solve_applies > 0 ? solve_seconds / static_cast<double>(solve_applies)
+                           : 0.0;
+}
+
+double SolverStats::iterations_per_second() const {
+  return solve_seconds > 0.0 ? static_cast<double>(iterations) / solve_seconds
+                             : 0.0;
+}
+
 std::string SolverStats::summary() const {
   std::ostringstream os;
   os.precision(3);
@@ -74,8 +84,12 @@ std::string SolverStats::summary() const {
      << " subdomains[wall=" << subdomain_wall_seconds << "s cpu="
      << subdomain_seconds_cpu() << "s]"
      << " LU(S~)=" << lu_s_seconds << "s"
-     << " solve=" << solve_seconds << "s"
-     << " | iters=" << iterations << " relres=";
+     << " solve=" << solve_seconds << "s";
+  if (solve_cpu_seconds > 0.0) os << " (cpu=" << solve_cpu_seconds << "s)";
+  if (nrhs > 1) os << " nrhs=" << nrhs;
+  os << " | iters=" << iterations;
+  if (solve_applies > 0) os << " applies=" << solve_applies;
+  os << " relres=";
   os.precision(2);
   os << std::scientific << relative_residual
      << (converged ? "" : " (NOT CONVERGED)");

@@ -30,10 +30,26 @@ struct SolverStats {
   long long precond_nnz = 0;             // nnz(L+U of S̃)
 
   // --- iterative solve ---
-  double solve_seconds = 0.0;
-  int iterations = 0;
-  double relative_residual = 0.0;
-  bool converged = false;
+  double solve_seconds = 0.0;      // wall clock of the last solve() batch
+  double solve_cpu_seconds = 0.0;  // process CPU over the same interval
+  int iterations = 0;              // Krylov iterations, summed over the batch
+  int nrhs = 0;                    // right-hand sides in the last batch
+  double relative_residual = 0.0;  // worst column of the batch
+  bool converged = false;          // every column converged
+  /// Implicit-Schur operator applications (S·y evaluations): cumulative
+  /// across solves, and the last batch alone (per-apply rates use the
+  /// latter with solve_seconds).
+  long long operator_applies = 0;
+  long long solve_applies = 0;
+  /// Buffer (re)allocation events in the solve path: per-subdomain
+  /// workspaces + Krylov workspaces. Must stay flat across repeated
+  /// same-shape solve() calls — the steady state is allocation-free.
+  long long solve_workspace_allocs = 0;
+
+  /// Seconds per operator apply in the last batch (0 when no applies ran).
+  [[nodiscard]] double seconds_per_apply() const;
+  /// Krylov iterations per second in the last batch (0 when instantaneous).
+  [[nodiscard]] double iterations_per_second() const;
 
   /// Modeled one-level parallel time: partition + max LU(D) + max Comp(S) +
   /// LU(S̃) + solve (one process per subdomain, §V).

@@ -24,9 +24,41 @@ void IdentityOperator::apply(std::span<const value_t> x,
   std::copy(x.begin(), x.end(), y.begin());
 }
 
+void GmresWorkspace::ensure(index_t n, int m) {
+  const auto un = static_cast<std::size_t>(n);
+  const auto um = static_cast<std::size_t>(m);
+  auto fit = [&](std::vector<value_t>& buf, std::size_t size) {
+    if (buf.size() < size) {
+      buf.resize(size);
+      ++allocations;
+    }
+  };
+  if (v.size() < um + 1) {
+    v.resize(um + 1);
+    ++allocations;
+  }
+  for (auto& vi : v) fit(vi, un);
+  if (h.size() < um + 1) {
+    h.resize(um + 1);
+    ++allocations;
+  }
+  for (auto& hi : h) {
+    if (hi.size() < um) {
+      hi.assign(um, 0.0);
+      ++allocations;
+    }
+  }
+  fit(cs, um);
+  fit(sn, um);
+  fit(g, um + 1);
+  fit(y, um);
+  fit(tmp, un);
+  fit(z, un);
+}
+
 GmresResult gmres(const LinearOperator& a, const LinearOperator* precond,
                   std::span<const value_t> b, std::span<value_t> x,
-                  const GmresOptions& opt) {
+                  const GmresOptions& opt, GmresWorkspace* ws) {
   const index_t n = a.size();
   PDSLIN_CHECK(b.size() == static_cast<std::size_t>(n));
   PDSLIN_CHECK(x.size() == static_cast<std::size_t>(n));
@@ -40,43 +72,62 @@ GmresResult gmres(const LinearOperator& a, const LinearOperator* precond,
     return result;
   }
 
-  // Krylov basis (m+1 vectors) and the Hessenberg system in Givens form.
-  std::vector<std::vector<value_t>> v(m + 1, std::vector<value_t>(n));
-  std::vector<std::vector<value_t>> h(m + 1, std::vector<value_t>(m, 0.0));
-  std::vector<value_t> cs(m), sn(m), g(m + 1);
-  std::vector<value_t> tmp(n), z(n);
+  // Krylov basis (m+1 vectors) and the Hessenberg system in Givens form,
+  // from the caller's workspace when given (allocation-free steady state).
+  GmresWorkspace local;
+  GmresWorkspace& w = ws != nullptr ? *ws : local;
+  w.ensure(n, m);
+  auto& v = w.v;
+  auto& h = w.h;
+  auto& cs = w.cs;
+  auto& sn = w.sn;
+  auto& g = w.g;
+  auto& tmp = w.tmp;
+  auto& z = w.z;
 
   while (result.iterations < opt.max_iterations) {
-    // r = b − A x.
+    // r = b − A x (true residual: every restart cycle — and every happy
+    // breakdown, see below — re-anchors on it).
     a.apply(x, tmp);
     for (index_t i = 0; i < n; ++i) v[0][i] = b[i] - tmp[i];
-    value_t beta = norm2(v[0]);
+    const value_t beta = norm2(std::span<const value_t>(v[0].data(), n));
     result.relative_residual = beta / bnorm;
     if (result.relative_residual <= opt.rel_tolerance) {
       result.converged = true;
       return result;
     }
     for (index_t i = 0; i < n; ++i) v[0][i] /= beta;
-    std::fill(g.begin(), g.end(), 0.0);
+    std::fill(g.begin(), g.begin() + m + 1, 0.0);
     g[0] = beta;
 
     int k = 0;
+    bool happy = false;  // h[k+1][k] == 0: the Krylov space closed
     for (; k < m && result.iterations < opt.max_iterations; ++k) {
       ++result.iterations;
       // w = A M⁻¹ v_k.
       if (precond != nullptr) {
-        precond->apply(v[k], z);
-        a.apply(z, tmp);
+        precond->apply(std::span<const value_t>(v[k].data(), n),
+                       std::span<value_t>(z.data(), n));
+        a.apply(std::span<const value_t>(z.data(), n),
+                std::span<value_t>(tmp.data(), n));
       } else {
-        a.apply(v[k], tmp);
+        a.apply(std::span<const value_t>(v[k].data(), n),
+                std::span<value_t>(tmp.data(), n));
       }
       // Modified Gram–Schmidt.
       for (int i = 0; i <= k; ++i) {
-        h[i][k] = dot(tmp, v[i]);
-        axpy(-h[i][k], v[i], tmp);
+        h[i][k] = dot(std::span<const value_t>(tmp.data(), n),
+                      std::span<const value_t>(v[i].data(), n));
+        axpy(-h[i][k], std::span<const value_t>(v[i].data(), n),
+             std::span<value_t>(tmp.data(), n));
       }
-      h[k + 1][k] = norm2(tmp);
-      if (h[k + 1][k] > 0.0) {
+      h[k + 1][k] = norm2(std::span<const value_t>(tmp.data(), n));
+      // Happy breakdown: A M⁻¹ v_k ∈ span(v_0..v_k), so there is no v_{k+1}
+      // to normalize. Stop expanding the basis and back-substitute with the
+      // k+1 vectors we have — continuing would orthogonalize the next step
+      // against whatever stale v[k+1] is left in the workspace.
+      happy = !(h[k + 1][k] > 0.0);
+      if (!happy) {
         for (index_t i = 0; i < n; ++i) v[k + 1][i] = tmp[i] / h[k + 1][k];
       }
       // Apply previous Givens rotations to the new column.
@@ -100,29 +151,38 @@ GmresResult gmres(const LinearOperator& a, const LinearOperator* precond,
       g[k] = cs[k] * g[k];
 
       result.relative_residual = std::abs(g[k + 1]) / bnorm;
-      if (result.relative_residual <= opt.rel_tolerance) {
+      if (happy || result.relative_residual <= opt.rel_tolerance) {
         ++k;
         break;
       }
     }
 
     // Back-substitute y from the triangular Hessenberg system.
-    std::vector<value_t> y(k, 0.0);
+    auto& y = w.y;
     for (int i = k - 1; i >= 0; --i) {
       value_t s = g[i];
       for (int j = i + 1; j < k; ++j) s -= h[i][j] * y[j];
       y[i] = (h[i][i] != 0.0) ? s / h[i][i] : 0.0;
     }
     // x += M⁻¹ (V y).
-    std::fill(tmp.begin(), tmp.end(), 0.0);
-    for (int i = 0; i < k; ++i) axpy(y[i], v[i], tmp);
-    if (precond != nullptr) {
-      precond->apply(tmp, z);
-      axpy(1.0, z, x);
-    } else {
-      axpy(1.0, tmp, x);
+    std::fill(tmp.begin(), tmp.begin() + n, 0.0);
+    for (int i = 0; i < k; ++i) {
+      axpy(y[i], std::span<const value_t>(v[i].data(), n),
+           std::span<value_t>(tmp.data(), n));
     }
-    if (result.relative_residual <= opt.rel_tolerance) {
+    if (precond != nullptr) {
+      precond->apply(std::span<const value_t>(tmp.data(), n),
+                     std::span<value_t>(z.data(), n));
+      axpy(1.0, std::span<const value_t>(z.data(), n), x);
+    } else {
+      axpy(1.0, std::span<const value_t>(tmp.data(), n), x);
+    }
+    // On a happy breakdown the Givens residual |g[k+1]| is 0 by
+    // construction even when H is singular (A singular on the closed
+    // space), so it cannot be trusted as a convergence certificate. Loop
+    // back: the top of the cycle recomputes the *true* residual and either
+    // returns converged or keeps iterating from the updated x.
+    if (!happy && result.relative_residual <= opt.rel_tolerance) {
       result.converged = true;
       return result;
     }
@@ -130,7 +190,8 @@ GmresResult gmres(const LinearOperator& a, const LinearOperator* precond,
   // Final true residual check.
   a.apply(x, tmp);
   for (index_t i = 0; i < n; ++i) tmp[i] = b[i] - tmp[i];
-  result.relative_residual = norm2(tmp) / bnorm;
+  result.relative_residual =
+      norm2(std::span<const value_t>(tmp.data(), n)) / bnorm;
   result.converged = result.relative_residual <= opt.rel_tolerance;
   return result;
 }

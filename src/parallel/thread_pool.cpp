@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 
 namespace pdslin {
 
@@ -25,7 +26,16 @@ ThreadPool::~ThreadPool() {
 }
 
 ThreadPool& ThreadPool::shared() {
-  static ThreadPool pool(0);
+  // PDSLIN_POOL_THREADS overrides the hardware_concurrency default —
+  // benches and CI use it to pin the worker count independently of the
+  // host (correctness never depends on the size; see the header).
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("PDSLIN_POOL_THREADS")) {
+      const int v = std::atoi(env);
+      if (v >= 1) return static_cast<unsigned>(v);
+    }
+    return 0u;
+  }());
   return pool;
 }
 

@@ -43,9 +43,10 @@ class ThreadPool {
   [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
   /// Process-wide pool shared by both hierarchy levels (outer subdomain
-  /// tasks and inner per-subdomain workers). Sized to hardware_concurrency
-  /// on first use. Correctness never depends on its size: callers waiting on
-  /// a TaskGroup execute queued tasks themselves.
+  /// tasks and inner per-subdomain workers). Sized on first use to
+  /// PDSLIN_POOL_THREADS if set (benches / CI), else hardware_concurrency.
+  /// Correctness never depends on its size: callers waiting on a TaskGroup
+  /// execute queued tasks themselves.
   static ThreadPool& shared();
 
  private:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -54,7 +55,18 @@ CsrMatrix read_matrix_market(std::istream& in) {
     double v = 1.0;
     in >> i >> j;
     if (!pattern) in >> v;
-    PDSLIN_CHECK_MSG(static_cast<bool>(in), "truncated entry list");
+    PDSLIN_CHECK_MSG(static_cast<bool>(in),
+                     "truncated entry list at entry " + std::to_string(k + 1) +
+                         " of " + std::to_string(entries));
+    // Validate before any narrowing cast: a silently wrapped index would
+    // corrupt the COO build (or crash far away in coo_to_csr).
+    PDSLIN_CHECK_MSG(i >= 1 && i <= rows && j >= 1 && j <= cols,
+                     "entry " + std::to_string(k + 1) + ": index (" +
+                         std::to_string(i) + ", " + std::to_string(j) +
+                         ") outside the declared " + std::to_string(rows) +
+                         "x" + std::to_string(cols) + " matrix");
+    PDSLIN_CHECK_MSG(std::isfinite(v),
+                     "entry " + std::to_string(k + 1) + ": non-finite value");
     const auto ri = static_cast<index_t>(i - 1);
     const auto cj = static_cast<index_t>(j - 1);
     coo.add(ri, cj, v);

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <chrono>
+#include <ctime>
 
 namespace pdslin {
 
@@ -22,6 +23,21 @@ class WallTimer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// Process CPU stopwatch (sums over all threads): paired with WallTimer it
+/// exposes the achieved parallelism of a phase (cpu/wall ≈ active workers).
+class CpuTimer {
+ public:
+  CpuTimer() : start_(std::clock()) {}
+  void reset() { start_ = std::clock(); }
+  [[nodiscard]] double seconds() const {
+    return static_cast<double>(std::clock() - start_) /
+           static_cast<double>(CLOCKS_PER_SEC);
+  }
+
+ private:
+  std::clock_t start_;
 };
 
 /// Accumulates time across multiple start/stop intervals (e.g. the total

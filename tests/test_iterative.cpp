@@ -1,7 +1,12 @@
-// GMRES tests: exact convergence cases, restarts, right preconditioning.
+// GMRES/BiCGSTAB tests: exact convergence cases, restarts, right
+// preconditioning, and the breakdown regressions (happy breakdown on a
+// closing Krylov space; BiCGSTAB ρ/ω/overflow stagnation).
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/preconditioner.hpp"
+#include "iterative/bicgstab.hpp"
 #include "iterative/gmres.hpp"
 #include "sparse/ops.hpp"
 #include "test_util.hpp"
@@ -81,6 +86,143 @@ TEST(Gmres, NonzeroInitialGuess) {
   const GmresResult r = gmres(op, nullptr, b, x);
   EXPECT_TRUE(r.converged);
   EXPECT_EQ(r.iterations, 0);
+}
+
+// Krylov space closes at the first step (A v0 = d1 v0 exactly for b = e1 on
+// a diagonal matrix): the happy-breakdown path must still return the exact
+// solution.
+TEST(Gmres, HappyBreakdownReturnsExactSolution) {
+  const CsrMatrix a = testing::from_dense({{4, 0, 0}, {0, 2, 0}, {0, 0, 8}});
+  const MatrixOperator op(a);
+  std::vector<value_t> b{12, 0, 0}, x(3, 0.0);
+  const GmresResult r = gmres(op, nullptr, b, x);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(x[0], 3.0, 1e-14);
+  EXPECT_NEAR(x[1], 0.0, 1e-14);
+  EXPECT_NEAR(x[2], 0.0, 1e-14);
+}
+
+// Regression: singular operator with b in its null direction. A v0 is
+// exactly 0, so h[1][0] = 0 with a singular Hessenberg column; the Givens
+// residual |g[k+1]| collapses to 0 even though nothing was solved. The
+// pre-fix code trusted it and returned converged = true with x = 0.
+TEST(Gmres, HappyBreakdownOnSingularOperatorDoesNotClaimConvergence) {
+  const CsrMatrix a = testing::from_dense({{1, 0, 0}, {0, 1, 0}, {0, 0, 0}});
+  const MatrixOperator op(a);
+  std::vector<value_t> b{0, 0, 1}, x(3, 0.0);
+  GmresOptions opt;
+  opt.max_iterations = 50;
+  const GmresResult r = gmres(op, nullptr, b, x, opt);
+  EXPECT_FALSE(r.converged);
+  // The reported residual must be the true one (‖b − Ax‖/‖b‖ = 1), not the
+  // collapsed Givens value.
+  EXPECT_NEAR(r.relative_residual, 1.0, 1e-12);
+  for (value_t v : x) EXPECT_TRUE(std::isfinite(v));
+}
+
+// Mixed case: the reachable components must still be solved exactly when
+// the operator is singular in an untouched direction.
+TEST(Gmres, SingularOperatorSolvesReachableComponents) {
+  const CsrMatrix a = testing::from_dense({{2, 1, 0}, {1, 3, 0}, {0, 0, 0}});
+  const MatrixOperator op(a);
+  std::vector<value_t> b{1, 2, 0}, x(3, 0.0);
+  const GmresResult r = gmres(op, nullptr, b, x);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(residual_norm(a, x, b) / norm2(b), 1e-10);
+}
+
+TEST(Gmres, WorkspaceReuseIsAllocationFreeAndBitwiseStable) {
+  const CsrMatrix a = testing::grid_laplacian(9, 9);
+  const MatrixOperator op(a);
+  Rng rng(17);
+  std::vector<value_t> b(a.rows);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+
+  GmresWorkspace ws;
+  std::vector<value_t> x1(a.rows, 0.0), x2(a.rows, 0.0), x0(a.rows, 0.0);
+  GmresOptions opt;
+  opt.restart = 25;
+  const GmresResult r0 = gmres(op, nullptr, b, x0, opt);  // no workspace
+  const GmresResult r1 = gmres(op, nullptr, b, x1, opt, &ws);
+  const long long allocs_after_first = ws.allocations;
+  const GmresResult r2 = gmres(op, nullptr, b, x2, opt, &ws);
+  EXPECT_TRUE(r1.converged);
+  // Same inputs, same workspace → bitwise-identical trajectory; the
+  // workspace-free path matches too.
+  EXPECT_EQ(x1, x2);
+  EXPECT_EQ(x1, x0);
+  EXPECT_EQ(r1.iterations, r2.iterations);
+  EXPECT_EQ(r1.iterations, r0.iterations);
+  // Second solve reuses every buffer.
+  EXPECT_EQ(ws.allocations, allocs_after_first);
+}
+
+TEST(Bicgstab, SolvesLaplacian) {
+  const CsrMatrix a = testing::grid_laplacian(10, 10);
+  const MatrixOperator op(a);
+  Rng rng(23);
+  std::vector<value_t> b(a.rows), x(a.rows, 0.0);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  BicgstabOptions opt;
+  opt.rel_tolerance = 1e-10;
+  const BicgstabResult r = bicgstab(op, nullptr, b, x, opt);
+  EXPECT_TRUE(r.converged);
+  EXPECT_FALSE(r.breakdown);
+  EXPECT_LT(residual_norm(a, x, b) / norm2(b), 1e-8);
+}
+
+// Regression: a near-cancelling r0·v makes α overflow, after which the
+// pre-fix recurrence pushed Inf/NaN through ω, x and the reported residual.
+// The guarded solver must detect the breakdown and hand back the last
+// finite iterate instead.
+TEST(Bicgstab, OverflowBreakdownReturnsFiniteIterate) {
+  const CsrMatrix a = testing::from_dense(
+      {{1, 0, 0}, {0, -1, 0}, {0, 0, 1e-100}});
+  const MatrixOperator op(a);
+  // r0·(A r0) = 1 − 1 + 1e-300: tiny but nonzero, so the exact-zero guard
+  // of the old code does not trigger — α ≈ 2e300 overflows t·t instead.
+  std::vector<value_t> b{1, 1, 1e-100}, x(3, 0.0);
+  BicgstabOptions opt;
+  opt.max_iterations = 50;
+  const BicgstabResult r = bicgstab(op, nullptr, b, x, opt);
+  EXPECT_FALSE(r.converged);
+  EXPECT_TRUE(r.breakdown);
+  EXPECT_TRUE(std::isfinite(r.relative_residual));
+  for (value_t v : x) EXPECT_TRUE(std::isfinite(v));
+}
+
+// Stagnation: r0 ⊥ A-conjugate directions from the start (skew-symmetric
+// action), ρ/ω hit exact zero. The solver must stop with a finite,
+// non-converged result rather than dividing by zero.
+TEST(Bicgstab, StagnationBreakdownIsFiniteAndNotConverged) {
+  const CsrMatrix a = testing::from_dense({{0, 1}, {-1, 0}});
+  const MatrixOperator op(a);
+  std::vector<value_t> b{1, 1}, x(2, 0.0);
+  BicgstabOptions opt;
+  opt.max_iterations = 20;
+  const BicgstabResult r = bicgstab(op, nullptr, b, x, opt);
+  EXPECT_TRUE(std::isfinite(r.relative_residual));
+  for (value_t v : x) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_TRUE(r.breakdown || !r.converged);
+}
+
+TEST(Bicgstab, WorkspaceReuseIsAllocationFree) {
+  const CsrMatrix a = testing::grid_laplacian(8, 8);
+  const MatrixOperator op(a);
+  Rng rng(29);
+  std::vector<value_t> b(a.rows);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  BicgstabWorkspace ws;
+  std::vector<value_t> x1(a.rows, 0.0), x2(a.rows, 0.0);
+  BicgstabOptions opt;
+  opt.rel_tolerance = 1e-10;
+  const BicgstabResult r1 = bicgstab(op, nullptr, b, x1, opt, &ws);
+  const long long allocs_after_first = ws.allocations;
+  const BicgstabResult r2 = bicgstab(op, nullptr, b, x2, opt, &ws);
+  EXPECT_TRUE(r1.converged);
+  EXPECT_EQ(x1, x2);
+  EXPECT_EQ(r1.iterations, r2.iterations);
+  EXPECT_EQ(ws.allocations, allocs_after_first);
 }
 
 TEST(Preconditioner, ApplySolvesSystem) {

@@ -209,5 +209,57 @@ TEST(MatrixMarket, RejectsGarbage) {
   EXPECT_THROW(read_matrix_market(ss), Error);
 }
 
+// The reader must reject 1-based indices outside the declared dimensions —
+// the old narrowing cast silently accepted them and corrupted the COO
+// build — and name the offending entry in the error.
+TEST(MatrixMarket, RejectsOutOfBoundsIndicesWithEntryNumber) {
+  const char* cases[] = {
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 2\n"
+      "1 1 1.0\n"
+      "4 1 2.0\n",  // row 4 of 3 (entry 2)
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 2\n"
+      "1 1 1.0\n"
+      "2 5 2.0\n",  // col 5 of 3 (entry 2)
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 1\n"
+      "0 1 1.0\n",  // zero row index (entry 1)
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 1\n"
+      "1 -2 1.0\n",  // negative col index (entry 1)
+  };
+  for (const char* text : cases) {
+    std::stringstream ss(text);
+    try {
+      read_matrix_market(ss);
+      FAIL() << "accepted out-of-bounds entry in:\n" << text;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("entry"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(MatrixMarket, RejectsNonFiniteValues) {
+  for (const char* bad : {"nan", "inf", "-inf", "1e999"}) {
+    std::stringstream ss(std::string(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "1 1 ") + bad + "\n");
+    EXPECT_THROW(read_matrix_market(ss), Error) << bad;
+  }
+}
+
+// A huge 1-based index that wraps negative under a 32-bit narrowing cast —
+// exactly the silent-corruption case the validation closes.
+TEST(MatrixMarket, RejectsIndicesBeyondIndexRange) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 1\n"
+      "4294967297 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(ss), Error);
+}
+
 }  // namespace
 }  // namespace pdslin
