@@ -5,6 +5,11 @@
 //   PDSLIN_BENCH_SEED   — RNG seed (default 20130520)
 // so `for b in build/bench/*; do $b; done` runs the whole evaluation at
 // laptop-default sizes, and a bigger machine can crank the scale up.
+// PDSLIN_TRACE=1|FILE additionally records spans (see docs/OBSERVABILITY.md).
+//
+// Besides the human-readable tables, every driver emits one machine-readable
+// RunReport line per configuration, prefixed "BENCH " (see emit_bench_report
+// below and EXPERIMENTS.md for the harvesting one-liner).
 #pragma once
 
 #include <cstdio>
@@ -14,6 +19,8 @@
 
 #include "core/schur_solver.hpp"
 #include "gen/suite.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -35,10 +42,41 @@ inline std::uint64_t bench_seed() {
 }
 
 inline void print_header(const char* title, const char* paper_ref) {
+  obs::trace_init_from_env();
   std::printf("\n================================================================\n");
   std::printf("%s\n(reproduces %s of Yamazaki/Li/Rouet/Uçar, IPDPSW 2013)\n", title,
               paper_ref);
   std::printf("================================================================\n");
+}
+
+/// Build the standard RunReport for one bench configuration. `tool` is the
+/// driver name ("bench/solve_path"); extra config/stats can be added by the
+/// caller before emitting.
+inline obs::RunReport make_bench_report(const char* tool,
+                                        const GeneratedProblem& p,
+                                        const SolverOptions& opt,
+                                        const SolverStats& st) {
+  obs::RunReport r;
+  r.tool = tool;
+  r.matrix = p.name;
+  r.n = p.a.rows;
+  r.nnz = p.a.nnz();
+  r.add_solver(opt, st);
+  r.capture_metrics();
+  return r;
+}
+
+/// Print the single-line trajectory record: "BENCH {json}". Harvest across
+/// all drivers with:
+///   for b in build/bench/*; do "$b"; done
+///     | sed -n 's/^BENCH //p' >> bench_trajectory.jsonl
+inline void emit_bench_report(const obs::RunReport& report) {
+  std::printf("BENCH %s\n", report.to_json_line().c_str());
+}
+
+inline void emit_bench_report(const char* tool, const GeneratedProblem& p,
+                              const SolverOptions& opt, const SolverStats& st) {
+  emit_bench_report(make_bench_report(tool, p, opt, st));
 }
 
 /// Run the full PDSLin pipeline on one configuration and return its stats.

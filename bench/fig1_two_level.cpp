@@ -41,6 +41,7 @@ int main() {
                     r.stats});
     std::printf("measured (1 core/domain): %s  %s\n", runs.back().label,
                 r.stats.summary().c_str());
+    bench::emit_bench_report("bench/fig1_two_level", p, opt, r.stats);
   }
 
   TwoLevelCostOptions model;

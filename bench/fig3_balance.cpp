@@ -63,6 +63,7 @@ void run_plot(const GeneratedProblem& p, index_t k, bool multi) {
     opt.ngd_weighted = row.ngd_weighted;
     opt.num_subdomains = k;
     const bench::PipelineResult r = bench::run_pipeline(p, opt);
+    bench::emit_bench_report("bench/fig3_balance", p, opt, r.stats);
     const DbbdStats& s = r.partition;
     entries.push_back({row.label, r.separator,
                        max_over_min(std::span<const long long>(s.dim_d)),

@@ -27,6 +27,11 @@ int main() {
     std::printf("\n%s (n=%d): preparing 8 subdomains...\n", name, p.a.rows);
     const auto setups = bench::prepare_problem(p, seed);
 
+    obs::RunReport rep;
+    rep.tool = "bench/fig4_padded_zeros";
+    rep.matrix = p.name;
+    rep.n = p.a.rows;
+    rep.nnz = p.a.nnz();
     std::printf("%4s | %-23s | %-23s | %-23s\n", "B", "natural (min/avg/max)",
                 "postorder", "hypergraph");
     for (const index_t b : block_sizes) {
@@ -52,7 +57,12 @@ int main() {
       std::printf("%4d | %6.3f %6.3f %6.3f   | %6.3f %6.3f %6.3f   | %6.3f %6.3f %6.3f\n",
                   b, n.min, n.avg, n.max, po.min, po.avg, po.max, h.min, h.avg,
                   h.max);
+      const std::string suffix = "_b" + std::to_string(b);
+      rep.set_stat("padded_fraction_natural" + suffix, n.avg);
+      rep.set_stat("padded_fraction_postorder" + suffix, po.avg);
+      rep.set_stat("padded_fraction_hypergraph" + suffix, h.avg);
     }
+    bench::emit_bench_report(rep);
   }
   std::printf(
       "\nexpected shape: fraction rises with B; postorder << natural;\n"

@@ -20,6 +20,11 @@ int main() {
   const auto setups = bench::prepare_problem(p, bench::bench_seed());
   const index_t block = 60;
 
+  obs::RunReport rep;
+  rep.tool = "bench/quasidense";
+  rep.matrix = p.name;
+  rep.n = p.a.rows;
+  rep.nnz = p.a.nnz();
   std::printf("%6s %14s %14s %14s %12s\n", "tau", "removed(dense)",
               "removed(empty)", "partition(s)", "padded frac");
   for (const double tau : {1.5, 0.8, 0.6, 0.4, 0.3, 0.2, 0.1, 0.05, 0.02}) {
@@ -43,7 +48,13 @@ int main() {
     std::printf("%6.2f %14lld %14lld %14.3f %12.3f\n", tau, removed_dense,
                 removed_empty, time,
                 counted > 0 ? frac / counted : 0.0);
+    char key[48];
+    std::snprintf(key, sizeof(key), "tau_%.2f", tau);
+    rep.set_stat(std::string(key) + "_partition_seconds", time);
+    rep.set_stat(std::string(key) + "_padded_fraction",
+                 counted > 0 ? frac / counted : 0.0);
   }
+  bench::emit_bench_report(rep);
   std::printf(
       "\nexpected shape: partition time falls as tau shrinks (more rows "
       "dropped);\npadded fraction flat until tau < ~0.1, then quality "

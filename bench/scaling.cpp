@@ -141,6 +141,10 @@ int main() {
                 label.c_str(), wall, serial_wall / wall,
                 solver.stats().subdomain_seconds_cpu(),
                 solver.stats().subdomain_seconds_modeled());
+    obs::RunReport rep =
+        bench::make_bench_report("bench/scaling", p, opt, solver.stats());
+    rep.set_config("layout", label);
+    bench::emit_bench_report(rep);
   }
 
   std::printf("\nJSON {\"bench\":\"scaling\",\"matrix\":\"%s\",\"n\":%d,"

@@ -6,10 +6,14 @@
 //   - the parallel solve is bitwise identical to the serial solve at every
 //     thread count (deterministic block-ordered stitching);
 //   - repeated solve() calls perform no workspace allocation after the
-//     first (SolverStats::solve_workspace_allocs stays flat).
+//     first (SolverStats::solve_workspace_allocs stays flat);
+//   - enabling tracing neither changes a single bit of the solution nor
+//     costs more than 5% of apply throughput (best-of-3 batches on the same
+//     factored solver, plus a small absolute slack for timer noise).
 //
 // Emits one JSON line (prefix "JSON ") with iterations/s and per-apply
-// seconds per configuration for the bench trajectory.
+// seconds per configuration, and a standard "BENCH {...}" RunReport line,
+// for the bench trajectory.
 //
 // Environment: PDSLIN_BENCH_SCALE, PDSLIN_BENCH_SEED (see bench_common.hpp),
 // PDSLIN_BENCH_MATRIX (suite name, default tdr190k),
@@ -147,5 +151,48 @@ int main() {
   std::printf("},\"speedup_t4\":%.3f,\"identical\":%s,\"alloc_free\":%s}\n",
               runs.front().seconds / runs.back().seconds,
               identical ? "true" : "false", alloc_free ? "true" : "false");
-  return identical && alloc_free ? 0 : 1;
+
+  // --- Tracing overhead and bit-exactness check (hard-fail). One factored
+  // solver serves all batches, so only the steady-state solve path is
+  // compared; best-of-3 plus an absolute slack keeps timer noise out.
+  SolverOptions topt = bench::bench_solver_options();
+  topt.num_subdomains = 8;
+  topt.threads = 2;
+  SchurSolver tsolver(p.a, topt);
+  tsolver.setup(p.incidence.rows > 0 ? &p.incidence : nullptr);
+  tsolver.factor();
+  const std::vector<value_t> tb = random_batch(p.a.rows, nrhs, seed + 101);
+  std::vector<value_t> x_off(tb.size(), 0.0), x_on(tb.size(), 0.0);
+  tsolver.solve_multi(tb, x_off, nrhs);  // warm-up
+  auto best_of_3 = [&](std::vector<value_t>& x) {
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      std::fill(x.begin(), x.end(), 0.0);
+      tsolver.solve_multi(tb, x, nrhs);
+      best = std::min(best, tsolver.stats().solve_seconds);
+    }
+    return best;
+  };
+  const double off_best = best_of_3(x_off);
+  obs::trace_enable();
+  const double on_best = best_of_3(x_on);
+  obs::trace_disable();
+  const bool trace_bits_ok = x_on == x_off;
+  // ≤5% relative plus 2ms absolute slack for sub-millisecond solves.
+  const bool trace_cost_ok = on_best <= off_best * 1.05 + 2e-3;
+  const double overhead = off_best > 0.0 ? on_best / off_best - 1.0 : 0.0;
+  std::printf("\ntracing on/off: solution bitwise identical: %s\n",
+              trace_bits_ok ? "yes" : "NO — BUG");
+  std::printf("tracing overhead: %.4fs -> %.4fs (%+.2f%%), within 5%%: %s\n",
+              off_best, on_best, overhead * 100.0,
+              trace_cost_ok ? "yes" : "NO — BUG");
+
+  obs::RunReport report =
+      bench::make_bench_report("bench/solve_path", p, topt, tsolver.stats());
+  report.set_stat("trace_overhead_ratio", overhead);
+  report.set_stat("trace_bitwise_identical", trace_bits_ok ? 1.0 : 0.0);
+  report.set_stat("parallel_bitwise_identical", identical ? 1.0 : 0.0);
+  report.set_stat("alloc_free_steady_state", alloc_free ? 1.0 : 0.0);
+  bench::emit_bench_report(report);
+  return identical && alloc_free && trace_bits_ok && trace_cost_ok ? 0 : 1;
 }

@@ -16,12 +16,23 @@ int main() {
               "sym", "");
   for (const std::string& name : suite_names()) {
     const GeneratedProblem p = make_suite_matrix(name, scale, bench::bench_seed());
+    const bool psym = pattern_symmetric(p.a);
+    const bool vsym = value_symmetric(p.a, 1e-12);
     std::printf("%-12s %-8s %10d %8.1f  %-8s %-6s %-8s\n", p.name.c_str(),
                 p.source.c_str(), p.a.rows,
                 static_cast<double>(p.a.nnz()) / p.a.rows,
-                pattern_symmetric(p.a) ? "yes" : "no",
-                value_symmetric(p.a, 1e-12) ? "yes" : "no",
+                psym ? "yes" : "no", vsym ? "yes" : "no",
                 p.positive_definite ? "yes" : "no");
+    obs::RunReport rep;
+    rep.tool = "bench/table1_matrices";
+    rep.matrix = p.name;
+    rep.n = p.a.rows;
+    rep.nnz = p.a.nnz();
+    rep.set_config("source", p.source);
+    rep.set_stat("pattern_symmetric", psym ? 1.0 : 0.0);
+    rep.set_stat("value_symmetric", vsym ? 1.0 : 0.0);
+    rep.set_stat("positive_definite", p.positive_definite ? 1.0 : 0.0);
+    bench::emit_bench_report(rep);
   }
   std::printf("\npaper-scale originals: tdr190k n=1.11M, tdr455k n=2.74M, "
               "dds.quad n=381k,\ndds.linear n=835k, matrix211 n=801k, "

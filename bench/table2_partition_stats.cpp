@@ -61,6 +61,7 @@ int main() {
       opt.constraints = RhbConstraintMode::SingleW1;
       opt.num_subdomains = 8;
       const bench::PipelineResult r = bench::run_pipeline(p, opt);
+      bench::emit_bench_report("bench/table2_partition_stats", p, opt, r.stats);
       print_row(to_string(method), r);
       if (!r.converged) std::printf("  ^ WARNING: iterative solve did not converge\n");
     }

@@ -67,6 +67,17 @@ int main() {
                   pick([](const RowStats& r) { return r.dens; }, want_min),
                   pick([](const RowStats& r) { return r.fill; }, want_min));
     }
+    obs::RunReport rep;
+    rep.tool = "bench/table3_interface_stats";
+    rep.matrix = p.name;
+    rep.n = p.a.rows;
+    rep.nnz = p.a.nnz();
+    rep.set_stat("g_nnz_max", pick([](const RowStats& r) { return r.nnz; }, false));
+    rep.set_stat("g_nnzcol_max", pick([](const RowStats& r) { return r.ncol; }, false));
+    rep.set_stat("g_nnzrow_max", pick([](const RowStats& r) { return r.nrow; }, false));
+    rep.set_stat("g_density_max", pick([](const RowStats& r) { return r.dens; }, false));
+    rep.set_stat("g_fill_ratio_max", pick([](const RowStats& r) { return r.fill; }, false));
+    bench::emit_bench_report(rep);
   }
   std::printf(
       "\nexpected shape: cavity analogues show high fill-ratio; matrix211 "

@@ -7,6 +7,8 @@
 
 #include "hypergraph/bisect.hpp"
 #include "hypergraph/hypergraph.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sparse/convert.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -137,7 +139,12 @@ void recurse(RhbState& st, const SubMatrix& sub, index_t k, index_t low,
   bopt.refine_passes = st.opt->refine_passes;
   bopt.initial_tries = st.opt->initial_tries;
   bopt.seed = node_seed(st.base_seed, low, k);
-  const HgBisection bis = bisect_hypergraph(h, bopt);
+  const HgBisection bis = [&] {
+    PDSLIN_SPAN_I("rhb.bisect", depth);
+    static obs::Counter& bisections = obs::counter("rhb.bisections");
+    bisections.add();
+    return bisect_hypergraph(h, bopt);
+  }();
 
   // Spawn the first child on its own thread while this thread handles the
   // second, as long as the spawn budget (≈ log2(threads) levels) lasts.

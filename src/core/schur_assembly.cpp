@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "direct/mindeg.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "reorder/postorder_rhs.hpp"
 #include "sparse/convert.hpp"
@@ -153,22 +154,29 @@ SubdomainFactorization assemble_subdomain(const Subdomain& sub,
   // --- Fill-reducing ordering (minimum degree), optionally composed with
   // the e-tree postorder when the §IV-A RHS strategy is active. ---
   timer.reset();
-  const CsrMatrix dsym = symmetrize_abs(pattern_of(sub.d));
-  f.colmap = minimum_degree_ordering(dsym);
-  CsrMatrix d_ord = permute_symmetric(sub.d, f.colmap);
-  if (opt.rhs_ordering == RhsOrdering::Postorder) {
-    const std::vector<index_t> post = etree_postorder_permutation(d_ord);
-    // Compose: colmap[new] = old goes through the postorder.
-    std::vector<index_t> composed(nd);
-    for (index_t i = 0; i < nd; ++i) composed[i] = f.colmap[post[i]];
-    f.colmap = std::move(composed);
+  CsrMatrix d_ord;
+  {
+    PDSLIN_SPAN("lu_d.order");
+    const CsrMatrix dsym = symmetrize_abs(pattern_of(sub.d));
+    f.colmap = minimum_degree_ordering(dsym);
     d_ord = permute_symmetric(sub.d, f.colmap);
+    if (opt.rhs_ordering == RhsOrdering::Postorder) {
+      const std::vector<index_t> post = etree_postorder_permutation(d_ord);
+      // Compose: colmap[new] = old goes through the postorder.
+      std::vector<index_t> composed(nd);
+      for (index_t i = 0; i < nd; ++i) composed[i] = f.colmap[post[i]];
+      f.colmap = std::move(composed);
+      d_ord = permute_symmetric(sub.d, f.colmap);
+    }
   }
   f.order_seconds = timer.seconds();
 
   // --- LU factorization of the (re)ordered subdomain. ---
   timer.reset();
-  f.lu = lu_factorize(d_ord, opt.lu);
+  {
+    PDSLIN_SPAN("lu_d.factor");
+    f.lu = lu_factorize(d_ord, opt.lu);
+  }
   f.factor_seconds = timer.seconds();
   f.lu_nnz = f.lu.fill_nnz();
 
@@ -190,8 +198,10 @@ SubdomainFactorization assemble_subdomain(const Subdomain& sub,
                                                   f.reorder_seconds, g_patterns);
   timer.reset();
   mr.col_patterns = g_patterns.empty() ? nullptr : &g_patterns;
-  MultiRhsResult g_res =
-      solve_multi_rhs_blocked(f.lu.lower, ehat_perm, g_order, mr);
+  MultiRhsResult g_res = [&] {
+    PDSLIN_SPAN("comp_s.solve_g");
+    return solve_multi_rhs_blocked(f.lu.lower, ehat_perm, g_order, mr);
+  }();
   f.solve_g_seconds = timer.seconds();
   f.g_stats = g_res.stats;
   CscMatrix g = unpermute_columns(g_res.solution, g_order);
@@ -217,7 +227,10 @@ SubdomainFactorization assemble_subdomain(const Subdomain& sub,
       choose_rhs_order(ut, fhat_t, opt, f.reorder_seconds, w_patterns);
   timer.reset();
   mr.col_patterns = w_patterns.empty() ? nullptr : &w_patterns;
-  MultiRhsResult w_res = solve_multi_rhs_blocked(ut, fhat_t, w_order, mr);
+  MultiRhsResult w_res = [&] {
+    PDSLIN_SPAN("comp_s.solve_w");
+    return solve_multi_rhs_blocked(ut, fhat_t, w_order, mr);
+  }();
   f.solve_w_seconds = timer.seconds();
   f.w_stats = w_res.stats;
   CscMatrix wt = unpermute_columns(w_res.solution, w_order);
@@ -242,7 +255,10 @@ SubdomainFactorization assemble_subdomain(const Subdomain& sub,
   w_csr.col_idx = wt.row_idx;
   w_csr.values = wt.values;
   const CsrMatrix g_csr = csc_to_csr(g);
-  f.t_tilde = spgemm(w_csr, g_csr, opt.inner_threads);
+  {
+    PDSLIN_SPAN("comp_s.gemm");
+    f.t_tilde = spgemm(w_csr, g_csr, opt.inner_threads);
+  }
   f.gemm_seconds = timer.seconds();
   return f;
 }

@@ -4,6 +4,8 @@
 
 #include "core/structural_factor.hpp"
 #include "direct/trisolve.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "graph/graph.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sparse/convert.hpp"
@@ -25,10 +27,12 @@ SchurSolver::SchurSolver(CsrMatrix a, SolverOptions opt)
 }
 
 void SchurSolver::setup(const CsrMatrix* incidence) {
+  PDSLIN_SPAN("setup.partition");
   WallTimer timer;
   std::vector<index_t> part;
   std::vector<index_t> separator_order;  // NGD elimination order when known
   if (opt_.partitioning == PartitionMethod::NGD) {
+    PDSLIN_SPAN("setup.ngd");
     const CsrMatrix sym = symmetrize_abs(pattern_of(a_));
     Graph g = graph_from_matrix(sym);
     if (opt_.ngd_weighted) {
@@ -42,6 +46,7 @@ void SchurSolver::setup(const CsrMatrix* incidence) {
     part = std::move(nd.part);
     separator_order = std::move(nd.separator_order);
   } else {
+    PDSLIN_SPAN("setup.rhb");
     CsrMatrix m_local;
     const CsrMatrix* m = incidence;
     if (m == nullptr || m->rows == 0) {
@@ -61,8 +66,13 @@ void SchurSolver::setup(const CsrMatrix* incidence) {
     ropt.threads = opt_.threads;
     part = rhb_partition(*m, ropt).unknowns.part;
   }
-  dbbd_ = build_dbbd(part, opt_.num_subdomains, separator_order);
+  {
+    PDSLIN_SPAN("setup.dbbd");
+    dbbd_ = build_dbbd(part, opt_.num_subdomains, separator_order);
+  }
   stats_.partition_seconds = timer.seconds();
+  obs::gauge("partition.separator_size")
+      .set(static_cast<double>(dbbd_.separator_size()));
   stats_.partition = dbbd_stats(a_, dbbd_);
   stats_.schur_dim = dbbd_.separator_size();
   setup_done_ = true;
@@ -73,6 +83,7 @@ void SchurSolver::setup(const CsrMatrix* incidence) {
 }
 
 void SchurSolver::factor() {
+  PDSLIN_SPAN("factor");
   PDSLIN_CHECK_MSG(setup_done_, "call setup() before factor()");
   const index_t k = opt_.num_subdomains;
   subs_.resize(k);
@@ -81,6 +92,7 @@ void SchurSolver::factor() {
   stats_.comp_s_seconds.assign(k, 0.0);
 
   auto process_domain = [&](int l) {
+    PDSLIN_SPAN_I("subdomain", l);
     subs_[l] = extract_subdomain(a_, dbbd_, l);
     facts_[l] = assemble_subdomain(subs_[l], opt_.assembly);
     stats_.lu_d_seconds[l] =
@@ -96,24 +108,31 @@ void SchurSolver::factor() {
   // opt_.assembly.inner_threads workers. TaskGroup::wait helps execute
   // queued tasks, so the nesting cannot deadlock on any pool size.
   WallTimer timer;
-  if (opt_.threads > 1) {
-    parallel_for(ThreadPool::shared(), k, process_domain, opt_.threads);
-  } else {
-    for (index_t l = 0; l < k; ++l) process_domain(l);
+  {
+    PDSLIN_SPAN("factor.subdomains");
+    if (opt_.threads > 1) {
+      parallel_for(ThreadPool::shared(), k, process_domain, opt_.threads);
+    } else {
+      for (index_t l = 0; l < k; ++l) process_domain(l);
+    }
   }
   stats_.subdomain_wall_seconds = timer.seconds();
 
   timer.reset();
-  c_block_ = extract_separator_block(a_, dbbd_);
-  // The gather runs alone, so it may use the whole thread budget.
-  const unsigned gather_threads =
-      std::max(1u, opt_.threads) * std::max(1u, opt_.assembly.inner_threads);
-  s_tilde_ = assemble_schur(c_block_, subs_, facts_, opt_.assembly.drop_s,
-                            gather_threads);
+  {
+    PDSLIN_SPAN("factor.gather");
+    c_block_ = extract_separator_block(a_, dbbd_);
+    // The gather runs alone, so it may use the whole thread budget.
+    const unsigned gather_threads =
+        std::max(1u, opt_.threads) * std::max(1u, opt_.assembly.inner_threads);
+    s_tilde_ = assemble_schur(c_block_, subs_, facts_, opt_.assembly.drop_s,
+                              gather_threads);
+  }
   stats_.gather_seconds = timer.seconds();
   stats_.schur_nnz = s_tilde_.nnz();
 
   if (s_tilde_.rows > 0) {
+    PDSLIN_SPAN("factor.lu_schur");
     precond_ =
         std::make_unique<SchurPreconditioner>(s_tilde_, opt_.assembly.lu);
     stats_.lu_s_seconds = precond_->factor_seconds();
@@ -208,10 +227,12 @@ class SchurSolver::SchurOperator final : public LinearOperator {
     return s_.dbbd_.separator_size();
   }
   void apply(std::span<const value_t> y, std::span<value_t> out) const override {
+    PDSLIN_SPAN("schur.apply");
     ++s_.stats_.operator_applies;
     ++s_.stats_.solve_applies;
     spmv(s_.c_block_, y, out);
     s_.for_each_subdomain([&](int l) {
+      PDSLIN_SPAN_I("schur.sweep", l);
       const Subdomain& sub = s_.subs_[l];
       SubdomainSolveScratch& ws = s_.solve_ws_[l];
       for (std::size_t c = 0; c < sub.e_cols.size(); ++c) {
@@ -307,6 +328,7 @@ std::vector<GmresResult> SchurSolver::solve_multi(std::span<const value_t> b,
   const auto n = static_cast<std::size_t>(a_.rows);
   PDSLIN_CHECK(b.size() == n * static_cast<std::size_t>(nrhs));
   PDSLIN_CHECK(x.size() == n * static_cast<std::size_t>(nrhs));
+  PDSLIN_SPAN("solve");
   WallTimer timer;
   CpuTimer cpu;
 
@@ -318,6 +340,7 @@ std::vector<GmresResult> SchurSolver::solve_multi(std::span<const value_t> b,
   std::vector<GmresResult> results;
   results.reserve(nrhs);
   for (index_t j = 0; j < nrhs; ++j) {
+    PDSLIN_SPAN_I("solve.column", j);
     results.push_back(
         solve_column(op, b.subspan(j * n, n), x.subspan(j * n, n)));
   }

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <memory>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
@@ -141,6 +143,7 @@ void merge_stats(MultiRhsStats& into, const MultiRhsStats& from) {
 MultiRhsResult solve_multi_rhs_blocked(const CscMatrix& l, const CscMatrix& b,
                                        std::span<const index_t> order,
                                        const MultiRhsOptions& opts) {
+  PDSLIN_SPAN("trisolve.multirhs");
   PDSLIN_CHECK(l.rows == l.cols && l.rows == b.rows);
   PDSLIN_CHECK(b.has_values() || b.nnz() == 0);
   PDSLIN_CHECK(opts.block_size >= 1);
@@ -212,6 +215,10 @@ MultiRhsResult solve_multi_rhs_blocked(const CscMatrix& l, const CscMatrix& b,
     }
   }
   res.stats.padded_zeros -= res.stats.pattern_nnz;
+  static obs::Counter& rhs_blocks = obs::counter("trisolve.rhs_blocks");
+  static obs::Counter& padded = obs::counter("trisolve.padded_zeros");
+  rhs_blocks.add(res.stats.num_blocks);
+  padded.add(res.stats.padded_zeros);
   return res;
 }
 

@@ -4,6 +4,8 @@
 
 #include "graph/bisect.hpp"
 #include "graph/separator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -58,13 +60,17 @@ struct NdState {
 };
 
 // Recursively dissect the subgraph induced on `verts` into parts
-// [low, low + num_parts).
+// [low, low + num_parts). `depth` is the bisection level, exported as the
+// span argument so a trace shows the shape of the recursion tree.
 void dissect(NdState& state, const std::vector<index_t>& verts,
-             index_t num_parts, index_t low) {
+             index_t num_parts, index_t low, int depth) {
   if (num_parts == 1 || verts.size() <= 1) {
     for (index_t v : verts) state.part[v] = low;
     return;
   }
+  PDSLIN_SPAN_I("ngd.bisect", depth);
+  static obs::Counter& bisections = obs::counter("ngd.bisections");
+  bisections.add();
   Graph sub = induced_subgraph(*state.g, verts, state.local_of);
   // Reset the scratch map before any recursion reuses it.
   auto reset_scratch = [&] {
@@ -91,8 +97,8 @@ void dissect(NdState& state, const std::vector<index_t>& verts,
         break;
     }
   }
-  dissect(state, left, num_parts / 2, low);
-  dissect(state, right, num_parts / 2, low + num_parts / 2);
+  dissect(state, left, num_parts / 2, low, depth + 1);
+  dissect(state, right, num_parts / 2, low + num_parts / 2, depth + 1);
   // Nested-dissection elimination order: this node's separator follows
   // everything below it.
   state.sep_order.insert(state.sep_order.end(), sep_verts.begin(),
@@ -114,7 +120,7 @@ DissectionResult nested_dissection(const Graph& g, const NgdOptions& opt) {
 
   std::vector<index_t> all(g.n);
   for (index_t v = 0; v < g.n; ++v) all[v] = v;
-  dissect(state, all, opt.num_parts, 0);
+  dissect(state, all, opt.num_parts, 0, /*depth=*/0);
 
   DissectionResult r;
   r.part = std::move(state.part);

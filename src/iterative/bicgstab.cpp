@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sparse/ops.hpp"
 #include "util/error.hpp"
 
@@ -23,6 +25,8 @@ void BicgstabWorkspace::ensure(index_t n) {
 BicgstabResult bicgstab(const LinearOperator& a, const LinearOperator* precond,
                         std::span<const value_t> b, std::span<value_t> x,
                         const BicgstabOptions& opt, BicgstabWorkspace* ws) {
+  PDSLIN_SPAN("bicgstab");
+  static obs::Counter& iter_counter = obs::counter("bicgstab.iters");
   const index_t n = a.size();
   PDSLIN_CHECK(b.size() == static_cast<std::size_t>(n));
   PDSLIN_CHECK(x.size() == static_cast<std::size_t>(n));
@@ -77,6 +81,7 @@ BicgstabResult bicgstab(const LinearOperator& a, const LinearOperator* precond,
   while (result.iterations < opt.max_iterations &&
          result.relative_residual > opt.rel_tolerance) {
     ++result.iterations;
+    iter_counter.add();
     const value_t rho_new = dot(r0, r);
     if (!finite(rho_new) || rho_new == 0.0 || omega == 0.0) {
       result.breakdown = true;  // ρ ≈ 0 / ω ≈ 0: the recurrence is stuck
@@ -130,6 +135,7 @@ BicgstabResult bicgstab(const LinearOperator& a, const LinearOperator* precond,
   }
 
   if (result.breakdown) {
+    obs::counter("bicgstab.breakdowns").add();
     // Roll back to the last finite iterate; report its residual.
     std::copy(w.x_snapshot.begin(), w.x_snapshot.end(), x.begin());
     result.relative_residual = last_finite_residual;

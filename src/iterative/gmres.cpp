@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sparse/ops.hpp"
 #include "util/error.hpp"
 
@@ -59,6 +61,9 @@ void GmresWorkspace::ensure(index_t n, int m) {
 GmresResult gmres(const LinearOperator& a, const LinearOperator* precond,
                   std::span<const value_t> b, std::span<value_t> x,
                   const GmresOptions& opt, GmresWorkspace* ws) {
+  PDSLIN_SPAN("gmres");
+  static obs::Counter& iter_counter = obs::counter("gmres.iters");
+  static obs::Counter& restart_counter = obs::counter("gmres.restarts");
   const index_t n = a.size();
   PDSLIN_CHECK(b.size() == static_cast<std::size_t>(n));
   PDSLIN_CHECK(x.size() == static_cast<std::size_t>(n));
@@ -86,6 +91,7 @@ GmresResult gmres(const LinearOperator& a, const LinearOperator* precond,
   auto& z = w.z;
 
   while (result.iterations < opt.max_iterations) {
+    if (result.iterations > 0) restart_counter.add();
     // r = b − A x (true residual: every restart cycle — and every happy
     // breakdown, see below — re-anchors on it).
     a.apply(x, tmp);
@@ -104,6 +110,7 @@ GmresResult gmres(const LinearOperator& a, const LinearOperator* precond,
     bool happy = false;  // h[k+1][k] == 0: the Krylov space closed
     for (; k < m && result.iterations < opt.max_iterations; ++k) {
       ++result.iterations;
+      iter_counter.add();
       // w = A M⁻¹ v_k.
       if (precond != nullptr) {
         precond->apply(std::span<const value_t>(v[k].data(), n),

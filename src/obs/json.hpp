@@ -1,0 +1,49 @@
+// Minimal JSON value/parser/writer for the observability layer: RunReport
+// round-trips, trace validation in tests, and bench-line parsing. Supports
+// the full JSON grammar the exporters emit (objects with ordered keys,
+// arrays, numbers, strings, booleans, null); not a general-purpose library.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pdslin::obs::json {
+
+/// A parsed JSON document node. Objects keep key order as parsed so that
+/// emit → parse → emit is stable.
+struct Value {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  [[nodiscard]] bool is_null() const { return type == Type::Null; }
+  [[nodiscard]] bool is_object() const { return type == Type::Object; }
+  [[nodiscard]] bool is_array() const { return type == Type::Array; }
+  [[nodiscard]] bool is_number() const { return type == Type::Number; }
+  [[nodiscard]] bool is_string() const { return type == Type::String; }
+
+  /// First member with the given key, or nullptr (objects only).
+  [[nodiscard]] const Value* find(std::string_view key) const;
+  /// find() that throws pdslin::Error when the key is absent.
+  [[nodiscard]] const Value& at(std::string_view key) const;
+};
+
+/// Parse a complete JSON document; throws pdslin::Error on malformed input
+/// (with a character offset in the message).
+Value parse(std::string_view text);
+
+/// Escape a string for embedding between double quotes in JSON output.
+std::string escape(std::string_view s);
+
+/// Render a number the way every exporter in this repo does: shortest
+/// round-trip double formatting ("%.17g" trimmed), integers without ".0".
+std::string number_to_string(double v);
+
+}  // namespace pdslin::obs::json

@@ -1,0 +1,241 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/logging.hpp"
+
+namespace pdslin::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct TraceEvent {
+  const char* name;  // static string (span names are literals)
+  double start_us;
+  double dur_us;
+  std::int32_t arg;
+  std::uint16_t depth;
+  unsigned tid;
+};
+
+// One writer (the owning thread), many readers (exporters). The writer
+// fills events_[size_] then publishes with a release store of count_; a
+// reader acquires count_ and reads only below it. Full buffer → drop, so
+// the published prefix is immutable.
+struct ThreadTraceBuffer {
+  std::vector<TraceEvent> events;  // capacity fixed at construction
+  std::atomic<std::size_t> count{0};
+  std::size_t size = 0;   // writer's mirror of count
+  int depth = 0;          // writer-only scope depth
+  unsigned tid = 0;
+  std::uint64_t epoch = 0;
+
+  void record(const TraceEvent& e) {
+    if (size < events.size()) {
+      events[size] = e;
+      ++size;
+      count.store(size, std::memory_order_release);
+    } else {
+      g_dropped.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  static std::atomic<std::uint64_t> g_dropped;
+};
+
+std::atomic<std::uint64_t> ThreadTraceBuffer::g_dropped{0};
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_epoch{1};
+std::atomic<std::uint64_t> g_buffer_allocs{0};
+std::atomic<std::size_t> g_capacity{1u << 16};
+Clock::time_point g_t0 = Clock::now();
+
+// Registry of every buffer ever created. Buffers are retired (excluded from
+// export by epoch), never freed, so a thread holding a stale pointer across
+// a trace_reset() can still close its spans safely.
+// Intentionally leaked (never destroyed): the PDSLIN_TRACE atexit handler
+// and late-exiting threads may touch the registry after main() returns,
+// so it must outlive every function-local static's destructor.
+std::mutex& registry_mutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+std::vector<std::unique_ptr<ThreadTraceBuffer>>& registry() {
+  static auto* r = new std::vector<std::unique_ptr<ThreadTraceBuffer>>;
+  return *r;
+}
+std::map<unsigned, std::string>& thread_labels() {
+  static auto* labels = new std::map<unsigned, std::string>;
+  return *labels;
+}
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(Clock::now() - g_t0).count();
+}
+
+// The calling thread's buffer for the current epoch (allocating and
+// registering one if needed). Only called while tracing is enabled.
+ThreadTraceBuffer* current_buffer() {
+  struct Cache {
+    ThreadTraceBuffer* buf = nullptr;
+    std::uint64_t epoch = 0;
+  };
+  thread_local Cache cache;
+  const std::uint64_t epoch = g_epoch.load(std::memory_order_acquire);
+  if (cache.buf == nullptr || cache.epoch != epoch) {
+    auto buf = std::make_unique<ThreadTraceBuffer>();
+    buf->events.resize(g_capacity.load(std::memory_order_relaxed));
+    buf->tid = thread_index();
+    buf->epoch = epoch;
+    g_buffer_allocs.fetch_add(1, std::memory_order_relaxed);
+    cache.buf = buf.get();
+    cache.epoch = epoch;
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    registry().push_back(std::move(buf));
+  }
+  return cache.buf;
+}
+
+std::string g_env_trace_path;  // set by trace_init_from_env (main thread)
+
+}  // namespace
+
+unsigned thread_index() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void label_this_thread(const std::string& label) {
+  const unsigned tid = thread_index();
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  thread_labels()[tid] = label;
+}
+
+void trace_enable(const TraceOptions& opt) {
+  g_capacity.store(opt.buffer_capacity > 0 ? opt.buffer_capacity : 1,
+                   std::memory_order_relaxed);
+  g_enabled.store(true, std::memory_order_release);
+}
+
+void trace_disable() { g_enabled.store(false, std::memory_order_release); }
+
+bool trace_enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void trace_reset() {
+  g_epoch.fetch_add(1, std::memory_order_acq_rel);
+  ThreadTraceBuffer::g_dropped.store(0, std::memory_order_relaxed);
+}
+
+TraceCounters trace_counters() {
+  TraceCounters c;
+  c.dropped = ThreadTraceBuffer::g_dropped.load(std::memory_order_relaxed);
+  c.buffer_allocs = g_buffer_allocs.load(std::memory_order_relaxed);
+  const std::uint64_t epoch = g_epoch.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  for (const auto& buf : registry()) {
+    if (buf->epoch != epoch) continue;
+    c.recorded += buf->count.load(std::memory_order_acquire);
+    ++c.threads;
+  }
+  return c;
+}
+
+TraceSpan::TraceSpan(const char* name, std::int32_t arg) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  ThreadTraceBuffer* buf = current_buffer();
+  name_ = name;
+  arg_ = arg;
+  buffer_ = buf;
+  depth_ = static_cast<std::uint16_t>(buf->depth);
+  ++buf->depth;
+  start_us_ = now_us();
+}
+
+TraceSpan::~TraceSpan() {
+  if (buffer_ == nullptr) return;
+  auto* buf = static_cast<ThreadTraceBuffer*>(buffer_);
+  --buf->depth;
+  buf->record({name_, start_us_, now_us() - start_us_, arg_, depth_, buf->tid});
+}
+
+std::string trace_to_chrome_json() {
+  const std::uint64_t epoch = g_epoch.load(std::memory_order_acquire);
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  for (const auto& [tid, label] : thread_labels()) {
+    os << (first ? "" : ",")
+       << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"" << json::escape(label) << " #" << tid
+       << "\"}}";
+    first = false;
+  }
+  char num[64];
+  for (const auto& buf : registry()) {
+    if (buf->epoch != epoch) continue;
+    const std::size_t n = buf->count.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      const TraceEvent& e = buf->events[i];
+      os << (first ? "" : ",") << "{\"name\":\"" << json::escape(e.name)
+         << "\",\"cat\":\"pdslin\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid;
+      std::snprintf(num, sizeof num, ",\"ts\":%.3f,\"dur\":%.3f", e.start_us,
+                    e.dur_us);
+      os << num;
+      if (e.arg >= 0) os << ",\"args\":{\"i\":" << e.arg << "}";
+      os << "}";
+      first = false;
+    }
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+bool trace_write_file(const std::string& path) {
+  const std::string doc = trace_to_chrome_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    log_error("trace: cannot open ", path, " for writing");
+    return false;
+  }
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  std::fclose(f);
+  if (!ok) log_error("trace: short write to ", path);
+  return ok;
+}
+
+bool trace_init_from_env() {
+  const char* env = std::getenv("PDSLIN_TRACE");
+  if (env == nullptr || env[0] == '\0') return false;
+  const std::string v(env);
+  if (v == "0" || v == "off") return false;
+  if (v != "1" && v != "on") {
+    g_env_trace_path = v;
+    // Drivers only opt in (print_header / CLI startup); the write happens
+    // at process exit so every exit path of every driver is covered.
+    std::atexit(trace_finalize_env);
+  }
+  trace_enable();
+  return true;
+}
+
+void trace_finalize_env() {
+  if (g_env_trace_path.empty()) return;  // idempotent: explicit call + atexit
+  trace_write_file(g_env_trace_path);
+  log_info("trace: wrote ", g_env_trace_path);
+  g_env_trace_path.clear();
+}
+
+}  // namespace pdslin::obs

@@ -4,6 +4,9 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace pdslin {
 
 ThreadPool::ThreadPool(unsigned threads) {
@@ -53,19 +56,24 @@ void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
   while (in_flight_ > 0) {
     if (!queue_.empty()) {
-      run_one(lock);
+      run_one(lock, /*helping=*/true);
     } else {
       cv_done_.wait(lock, [this] { return in_flight_ == 0 || !queue_.empty(); });
     }
   }
 }
 
-void ThreadPool::run_one(std::unique_lock<std::mutex>& lock) {
+void ThreadPool::run_one(std::unique_lock<std::mutex>& lock, bool helping) {
+  // Cached registry lookups: steady-state cost is one relaxed fetch_add.
+  static obs::Counter& tasks_executed = obs::counter("pool.tasks_executed");
+  static obs::Counter& tasks_stolen = obs::counter("pool.tasks_stolen");
   Task task = std::move(queue_.front());
   queue_.pop_front();
   lock.unlock();
+  (helping ? tasks_stolen : tasks_executed).add();
   std::exception_ptr err;
   try {
+    PDSLIN_SPAN("pool.task");
     task.fn();
   } catch (...) {
     err = std::current_exception();
@@ -85,6 +93,7 @@ void ThreadPool::run_one(std::unique_lock<std::mutex>& lock) {
 }
 
 void ThreadPool::worker_loop() {
+  obs::label_this_thread("pool-worker");
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -118,7 +127,7 @@ void TaskGroup::wait() {
     if (!pool_.queue_.empty()) {
       // Help-first: execute *some* queued task (not necessarily ours). Work
       // we run either is ours or unblocks the worker that is running ours.
-      pool_.run_one(lock);
+      pool_.run_one(lock, /*helping=*/true);
     } else {
       pool_.cv_done_.wait(
           lock, [this] { return pending_ == 0 || !pool_.queue_.empty(); });

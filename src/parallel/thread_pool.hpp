@@ -59,8 +59,9 @@ class ThreadPool {
 
   void worker_loop();
   /// Pop and run one queued task. Requires `lock` held on mutex_; drops it
-  /// while the task runs and reacquires before returning.
-  void run_one(std::unique_lock<std::mutex>& lock);
+  /// while the task runs and reacquires before returning. `helping` marks
+  /// tasks executed by a waiter (help-first) rather than a pool worker.
+  void run_one(std::unique_lock<std::mutex>& lock, bool helping = false);
 
   std::vector<std::thread> workers_;
   std::deque<Task> queue_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sparse/convert.hpp"
 #include "util/error.hpp"
@@ -70,6 +72,14 @@ void prefix_sum_rows(CsrMatrix& c, const std::vector<index_t>& row_nnz) {
   }
 }
 
+// Multiply-add count of the Gustavson product: Σ_i Σ_{k ∈ row i of A}
+// nnz(row k of B). One O(nnz(A)) pass, kept out of the inner kernels.
+long long gemm_flops(const CsrMatrix& a, const CsrMatrix& b) {
+  long long flops = 0;
+  for (index_t k : a.col_idx) flops += b.row_nnz(k);
+  return flops;
+}
+
 }  // namespace
 
 CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b, unsigned threads) {
@@ -79,6 +89,9 @@ CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b, unsigned threads) {
                    "numeric spgemm requires values; use spgemm_pattern");
   CsrMatrix c(a.rows, b.cols);
   if (a.nnz() == 0 || b.nnz() == 0) return c;  // empty product
+  PDSLIN_SPAN("spgemm");
+  static obs::Counter& flops = obs::counter("spgemm.flops");
+  flops.add(gemm_flops(a, b));
 
   if (threads <= 1) {
     // Gustavson: sparse accumulator (SPA) per output row.

@@ -1,0 +1,232 @@
+// Tracer invariants: spans stay balanced and well-nested per thread even
+// under help-first TaskGroup nesting (one OS thread interleaving foreign
+// tasks), the Chrome export is valid JSON, and the disabled tracer records
+// nothing and allocates nothing.
+//
+// The tracer is process-global, so every test starts its own epoch with
+// trace_reset() and leaves tracing disabled on exit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace pdslin {
+namespace {
+
+struct Interval {
+  double start, end;
+  int depth;
+};
+
+// Guard restoring the global tracer state around each test.
+struct TraceGuard {
+  TraceGuard() { obs::trace_reset(); }
+  ~TraceGuard() {
+    obs::trace_disable();
+    obs::trace_reset();
+  }
+};
+
+// Collect the "X" events per tid from an exported Chrome trace document.
+std::map<long long, std::vector<Interval>> events_by_tid(
+    const obs::json::Value& doc, const char* only_name = nullptr) {
+  std::map<long long, std::vector<Interval>> out;
+  const obs::json::Value& events = doc.at("traceEvents");
+  EXPECT_TRUE(events.is_array());
+  for (const obs::json::Value& e : events.array) {
+    if (e.at("ph").str != "X") continue;
+    if (only_name != nullptr && e.at("name").str != only_name) continue;
+    const double ts = e.at("ts").number;
+    const double dur = e.at("dur").number;
+    out[static_cast<long long>(e.at("tid").number)].push_back(
+        {ts, ts + dur, 0});
+  }
+  return out;
+}
+
+TEST(ObsTrace, DisabledRecordsNothingAndAllocatesNothing) {
+  TraceGuard guard;
+  ASSERT_FALSE(obs::trace_enabled());
+  const obs::TraceCounters before = obs::trace_counters();
+  for (int i = 0; i < 1000; ++i) {
+    PDSLIN_SPAN("disabled.span");
+    PDSLIN_SPAN_I("disabled.arg", i);
+  }
+  const obs::TraceCounters after = obs::trace_counters();
+  EXPECT_EQ(after.recorded, 0u);
+  EXPECT_EQ(after.threads, 0u);
+  EXPECT_EQ(after.buffer_allocs, before.buffer_allocs);  // no buffer created
+  EXPECT_EQ(after.dropped, before.dropped);
+}
+
+TEST(ObsTrace, RecordsClosedSpansWithArgs) {
+  TraceGuard guard;
+  obs::trace_enable();
+  {
+    PDSLIN_SPAN("outer.span");
+    { PDSLIN_SPAN_I("inner.span", 42); }
+  }
+  obs::trace_disable();
+  const obs::TraceCounters c = obs::trace_counters();
+  EXPECT_EQ(c.recorded, 2u);
+  EXPECT_EQ(c.threads, 1u);
+
+  const obs::json::Value doc = obs::json::parse(obs::trace_to_chrome_json());
+  bool saw_inner = false, saw_outer = false;
+  for (const obs::json::Value& e : doc.at("traceEvents").array) {
+    if (e.at("ph").str != "X") continue;
+    if (e.at("name").str == "inner.span") {
+      saw_inner = true;
+      EXPECT_EQ(e.at("args").at("i").number, 42.0);
+    }
+    if (e.at("name").str == "outer.span") saw_outer = true;
+  }
+  EXPECT_TRUE(saw_inner);
+  EXPECT_TRUE(saw_outer);
+}
+
+// The load-bearing concurrency property: TaskGroup::wait() is help-first,
+// so one OS thread interleaves its own task's spans with foreign tasks'
+// spans. RAII scoping must still produce a well-nested (laminar) interval
+// family per thread — any two spans on one thread either nest or are
+// disjoint.
+TEST(ObsTrace, SpansWellNestedUnderNestedTaskGroupStress) {
+  TraceGuard guard;
+  obs::trace_enable();
+  std::atomic<int> counter{0};
+  parallel_for(ThreadPool::shared(), 16, [&](int) {
+    PDSLIN_SPAN("stress.outer");
+    TaskGroup inner;  // shared pool: wait() helps with queued tasks
+    for (int j = 0; j < 16; ++j) {
+      inner.run([&counter, j] {
+        PDSLIN_SPAN_I("stress.inner", j);
+        counter.fetch_add(1);
+      });
+    }
+    inner.wait();
+  });
+  obs::trace_disable();
+  EXPECT_EQ(counter.load(), 16 * 16);
+
+  const obs::TraceCounters c = obs::trace_counters();
+  EXPECT_EQ(c.dropped, 0u);
+  // Every span object records exactly one event at close: 16 outer + 256
+  // inner, plus one pool.task wrapper per executed pool task.
+  EXPECT_GE(c.recorded, 16u + 256u);
+
+  const std::string json = obs::trace_to_chrome_json();
+  const obs::json::Value doc = obs::json::parse(json);  // parses or throws
+  int named = 0;
+  for (const obs::json::Value& e : doc.at("traceEvents").array) {
+    if (e.at("ph").str != "X") continue;
+    const std::string& name = e.at("name").str;
+    if (name == "stress.outer" || name == "stress.inner") ++named;
+    EXPECT_GE(e.at("dur").number, 0.0);
+  }
+  EXPECT_EQ(named, 16 + 256);
+
+  // Laminar-family check per thread: sort by (start asc, end desc) and keep
+  // a stack of open intervals; each interval must close within its parent.
+  for (auto& [tid, spans] : events_by_tid(doc)) {
+    std::sort(spans.begin(), spans.end(), [](const Interval& a, const Interval& b) {
+      if (a.start != b.start) return a.start < b.start;
+      return a.end > b.end;
+    });
+    std::vector<Interval> stack;
+    for (const Interval& s : spans) {
+      while (!stack.empty() && stack.back().end <= s.start) stack.pop_back();
+      if (!stack.empty()) {
+        EXPECT_LE(s.end, stack.back().end)
+            << "partially overlapping spans on tid " << tid;
+      }
+      stack.push_back(s);
+    }
+  }
+}
+
+TEST(ObsTrace, ResetStartsFreshEpoch) {
+  TraceGuard guard;
+  obs::trace_enable();
+  { PDSLIN_SPAN("old.epoch"); }
+  EXPECT_EQ(obs::trace_counters().recorded, 1u);
+  obs::trace_reset();
+  EXPECT_EQ(obs::trace_counters().recorded, 0u);
+  { PDSLIN_SPAN("new.epoch"); }
+  obs::trace_disable();
+  EXPECT_EQ(obs::trace_counters().recorded, 1u);
+  const std::string json = obs::trace_to_chrome_json();
+  EXPECT_EQ(json.find("old.epoch"), std::string::npos);
+  EXPECT_NE(json.find("new.epoch"), std::string::npos);
+}
+
+TEST(ObsTrace, DropsWhenFullInsteadOfOverwriting) {
+  TraceGuard guard;
+  obs::TraceOptions opt;
+  opt.buffer_capacity = 8;
+  obs::trace_enable(opt);
+  for (int i = 0; i < 64; ++i) {
+    PDSLIN_SPAN_I("drop.span", i);
+  }
+  obs::trace_disable();
+  const obs::TraceCounters c = obs::trace_counters();
+  EXPECT_EQ(c.recorded, 8u);
+  EXPECT_EQ(c.dropped, 56u);
+  // The published prefix holds the FIRST events (immutable once written).
+  const obs::json::Value doc = obs::json::parse(obs::trace_to_chrome_json());
+  for (const obs::json::Value& e : doc.at("traceEvents").array) {
+    if (e.at("ph").str != "X") continue;
+    EXPECT_LT(e.at("args").at("i").number, 8.0);
+  }
+  // Restore the default capacity for later tests in this process.
+  obs::trace_enable();
+  obs::trace_disable();
+}
+
+// Export must be safe while other threads are still recording (TSan runs
+// this file under -L parallel).
+TEST(ObsTrace, ConcurrentExportWhileRecording) {
+  TraceGuard guard;
+  obs::trace_enable();
+  std::atomic<bool> stop{false};
+  TaskGroup group;  // shared pool
+  for (int w = 0; w < 4; ++w) {
+    group.run([&stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        PDSLIN_SPAN("concurrent.span");
+      }
+    });
+  }
+  for (int i = 0; i < 20; ++i) {
+    const std::string json = obs::trace_to_chrome_json();
+    EXPECT_NO_THROW(obs::json::parse(json));
+    (void)obs::trace_counters();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  group.wait();
+  obs::trace_disable();
+}
+
+TEST(ObsTrace, ThreadLabelsExportedAsMetadata) {
+  TraceGuard guard;
+  obs::label_this_thread("test-main");
+  obs::trace_enable();
+  { PDSLIN_SPAN("labeled.span"); }
+  obs::trace_disable();
+  const obs::json::Value doc = obs::json::parse(obs::trace_to_chrome_json());
+  bool saw_label = false;
+  for (const obs::json::Value& e : doc.at("traceEvents").array) {
+    if (e.at("ph").str == "M" && e.at("name").str == "thread_name" &&
+        e.at("args").at("name").str.find("test-main") != std::string::npos) {
+      saw_label = true;
+    }
+  }
+  EXPECT_TRUE(saw_label);
+}
+
+}  // namespace
+}  // namespace pdslin

@@ -26,6 +26,12 @@
 //                             bitwise independent of N and M)
 //   --seed N                  RNG seed                        [1]
 //   --verbose                 info-level logging
+// Observability (docs/OBSERVABILITY.md):
+//   --trace-out FILE          record spans, write Chrome trace JSON to FILE
+//                             (load in chrome://tracing or ui.perfetto.dev)
+//   --report-out FILE         write the machine-readable RunReport JSON
+//   PDSLIN_TRACE=1|FILE       env equivalent of --trace-out (FILE names the
+//                             output; "1" records without writing)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -36,6 +42,8 @@
 
 #include "core/schur_solver.hpp"
 #include "gen/suite.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "sparse/io.hpp"
 #include "sparse/ops.hpp"
 #include "util/logging.hpp"
@@ -62,7 +70,10 @@ bool is_suite_name(const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::label_this_thread("main");
   std::string matrix;
+  std::string trace_out;
+  std::string report_out;
   double scale = 1.0;
   index_t nrhs = 1;
   SolverOptions opt;
@@ -135,6 +146,10 @@ int main(int argc, char** argv) {
       opt.seed = static_cast<std::uint64_t>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--verbose") {
       set_log_level(LogLevel::Info);
+    } else if (arg == "--trace-out") {
+      trace_out = next();
+    } else if (arg == "--report-out") {
+      report_out = next();
     } else {
       usage(("unknown option " + arg).c_str());
     }
@@ -142,15 +157,22 @@ int main(int argc, char** argv) {
   if (matrix.empty()) usage("--matrix is required");
   opt.krylov = krylov == "bicgstab" ? KrylovMethod::Bicgstab : KrylovMethod::Gmres;
 
+  obs::trace_init_from_env();
+  if (!trace_out.empty()) obs::trace_enable();
+
   GeneratedProblem problem;
   if (is_suite_name(matrix)) {
+    PDSLIN_SPAN("cli.generate");
     problem = make_suite_matrix(matrix, scale, opt.seed);
   } else {
+    PDSLIN_SPAN("cli.read_matrix");
     problem.a = read_matrix_market_file(matrix);
     problem.name = matrix;
   }
   std::printf("matrix %s: n=%d nnz=%d\n", problem.name.c_str(), problem.a.rows,
               problem.a.nnz());
+  const long long matrix_n = problem.a.rows;
+  const long long matrix_nnz = problem.a.nnz();
 
   SchurSolver solver(std::move(problem.a), opt);
   const CsrMatrix& a = solver.matrix();
@@ -195,5 +217,23 @@ int main(int argc, char** argv) {
               st.solve_workspace_allocs);
   std::printf("modeled one-level parallel time: %.3f s\n",
               st.parallel_time_one_level());
+
+  if (!report_out.empty()) {
+    obs::RunReport report;
+    report.tool = "pdslin_cli";
+    report.matrix = problem.name;
+    report.n = matrix_n;
+    report.nnz = matrix_nnz;
+    report.add_solver(opt, st);
+    report.set_stat("true_relative_residual", worst_residual);
+    report.capture_metrics();
+    if (!report_write_file(report, report_out)) return 1;
+    std::printf("report written to %s\n", report_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    if (!obs::trace_write_file(trace_out)) return 1;
+    std::printf("trace written to %s\n", trace_out.c_str());
+  }
+  obs::trace_finalize_env();
   return all_converged ? 0 : 1;
 }
