@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_two_level.dir/fig1_two_level.cpp.o"
+  "CMakeFiles/fig1_two_level.dir/fig1_two_level.cpp.o.d"
+  "fig1_two_level"
+  "fig1_two_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_two_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

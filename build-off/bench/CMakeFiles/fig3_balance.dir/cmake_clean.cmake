@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_balance.dir/fig3_balance.cpp.o"
+  "CMakeFiles/fig3_balance.dir/fig3_balance.cpp.o.d"
+  "fig3_balance"
+  "fig3_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_padded_zeros.dir/fig4_padded_zeros.cpp.o"
+  "CMakeFiles/fig4_padded_zeros.dir/fig4_padded_zeros.cpp.o.d"
+  "fig4_padded_zeros"
+  "fig4_padded_zeros.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_padded_zeros.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

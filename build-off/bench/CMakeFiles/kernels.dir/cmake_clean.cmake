@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels.dir/kernels.cpp.o"
+  "CMakeFiles/kernels.dir/kernels.cpp.o.d"
+  "kernels"
+  "kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

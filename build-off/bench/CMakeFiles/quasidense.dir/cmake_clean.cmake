@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quasidense.dir/quasidense.cpp.o"
+  "CMakeFiles/quasidense.dir/quasidense.cpp.o.d"
+  "quasidense"
+  "quasidense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quasidense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solve_path.dir/solve_path.cpp.o"
+  "CMakeFiles/solve_path.dir/solve_path.cpp.o.d"
+  "solve_path"
+  "solve_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solve_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

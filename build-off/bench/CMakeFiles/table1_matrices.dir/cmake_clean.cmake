@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_matrices.dir/table1_matrices.cpp.o"
+  "CMakeFiles/table1_matrices.dir/table1_matrices.cpp.o.d"
+  "table1_matrices"
+  "table1_matrices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_matrices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

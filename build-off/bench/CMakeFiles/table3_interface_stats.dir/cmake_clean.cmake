@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_interface_stats.dir/table3_interface_stats.cpp.o"
+  "CMakeFiles/table3_interface_stats.dir/table3_interface_stats.cpp.o.d"
+  "table3_interface_stats"
+  "table3_interface_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_interface_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

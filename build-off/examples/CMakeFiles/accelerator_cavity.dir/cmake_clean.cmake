@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelerator_cavity.dir/accelerator_cavity.cpp.o"
+  "CMakeFiles/accelerator_cavity.dir/accelerator_cavity.cpp.o.d"
+  "accelerator_cavity"
+  "accelerator_cavity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelerator_cavity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_simulation.dir/circuit_simulation.cpp.o"
+  "CMakeFiles/circuit_simulation.dir/circuit_simulation.cpp.o.d"
+  "circuit_simulation"
+  "circuit_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_market_solve.dir/matrix_market_solve.cpp.o"
+  "CMakeFiles/matrix_market_solve.dir/matrix_market_solve.cpp.o.d"
+  "matrix_market_solve"
+  "matrix_market_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_market_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhs_reordering.dir/rhs_reordering.cpp.o"
+  "CMakeFiles/rhs_reordering.dir/rhs_reordering.cpp.o.d"
+  "rhs_reordering"
+  "rhs_reordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhs_reordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,76 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dbbd.cpp" "src/CMakeFiles/pdslin.dir/core/dbbd.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/core/dbbd.cpp.o.d"
+  "/root/repo/src/core/preconditioner.cpp" "src/CMakeFiles/pdslin.dir/core/preconditioner.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/core/preconditioner.cpp.o.d"
+  "/root/repo/src/core/rhb.cpp" "src/CMakeFiles/pdslin.dir/core/rhb.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/core/rhb.cpp.o.d"
+  "/root/repo/src/core/schur_assembly.cpp" "src/CMakeFiles/pdslin.dir/core/schur_assembly.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/core/schur_assembly.cpp.o.d"
+  "/root/repo/src/core/schur_solver.cpp" "src/CMakeFiles/pdslin.dir/core/schur_solver.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/core/schur_solver.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/CMakeFiles/pdslin.dir/core/stats.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/core/stats.cpp.o.d"
+  "/root/repo/src/core/structural_factor.cpp" "src/CMakeFiles/pdslin.dir/core/structural_factor.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/core/structural_factor.cpp.o.d"
+  "/root/repo/src/core/subdomain.cpp" "src/CMakeFiles/pdslin.dir/core/subdomain.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/core/subdomain.cpp.o.d"
+  "/root/repo/src/direct/etree.cpp" "src/CMakeFiles/pdslin.dir/direct/etree.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/direct/etree.cpp.o.d"
+  "/root/repo/src/direct/lu.cpp" "src/CMakeFiles/pdslin.dir/direct/lu.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/direct/lu.cpp.o.d"
+  "/root/repo/src/direct/mindeg.cpp" "src/CMakeFiles/pdslin.dir/direct/mindeg.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/direct/mindeg.cpp.o.d"
+  "/root/repo/src/direct/multirhs.cpp" "src/CMakeFiles/pdslin.dir/direct/multirhs.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/direct/multirhs.cpp.o.d"
+  "/root/repo/src/direct/reach.cpp" "src/CMakeFiles/pdslin.dir/direct/reach.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/direct/reach.cpp.o.d"
+  "/root/repo/src/direct/supernodes.cpp" "src/CMakeFiles/pdslin.dir/direct/supernodes.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/direct/supernodes.cpp.o.d"
+  "/root/repo/src/direct/symbolic.cpp" "src/CMakeFiles/pdslin.dir/direct/symbolic.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/direct/symbolic.cpp.o.d"
+  "/root/repo/src/direct/trisolve.cpp" "src/CMakeFiles/pdslin.dir/direct/trisolve.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/direct/trisolve.cpp.o.d"
+  "/root/repo/src/gen/cavity.cpp" "src/CMakeFiles/pdslin.dir/gen/cavity.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/gen/cavity.cpp.o.d"
+  "/root/repo/src/gen/circuit.cpp" "src/CMakeFiles/pdslin.dir/gen/circuit.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/gen/circuit.cpp.o.d"
+  "/root/repo/src/gen/fem_assembly.cpp" "src/CMakeFiles/pdslin.dir/gen/fem_assembly.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/gen/fem_assembly.cpp.o.d"
+  "/root/repo/src/gen/fusion.cpp" "src/CMakeFiles/pdslin.dir/gen/fusion.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/gen/fusion.cpp.o.d"
+  "/root/repo/src/gen/grid_fem.cpp" "src/CMakeFiles/pdslin.dir/gen/grid_fem.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/gen/grid_fem.cpp.o.d"
+  "/root/repo/src/gen/suite.cpp" "src/CMakeFiles/pdslin.dir/gen/suite.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/gen/suite.cpp.o.d"
+  "/root/repo/src/gen/tet_fem.cpp" "src/CMakeFiles/pdslin.dir/gen/tet_fem.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/gen/tet_fem.cpp.o.d"
+  "/root/repo/src/graph/bisect.cpp" "src/CMakeFiles/pdslin.dir/graph/bisect.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/graph/bisect.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/pdslin.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/matching.cpp" "src/CMakeFiles/pdslin.dir/graph/matching.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/graph/matching.cpp.o.d"
+  "/root/repo/src/graph/nested_dissection.cpp" "src/CMakeFiles/pdslin.dir/graph/nested_dissection.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/graph/nested_dissection.cpp.o.d"
+  "/root/repo/src/graph/rcm.cpp" "src/CMakeFiles/pdslin.dir/graph/rcm.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/graph/rcm.cpp.o.d"
+  "/root/repo/src/graph/separator.cpp" "src/CMakeFiles/pdslin.dir/graph/separator.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/graph/separator.cpp.o.d"
+  "/root/repo/src/hypergraph/bisect.cpp" "src/CMakeFiles/pdslin.dir/hypergraph/bisect.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/hypergraph/bisect.cpp.o.d"
+  "/root/repo/src/hypergraph/coarsen.cpp" "src/CMakeFiles/pdslin.dir/hypergraph/coarsen.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/hypergraph/coarsen.cpp.o.d"
+  "/root/repo/src/hypergraph/fm.cpp" "src/CMakeFiles/pdslin.dir/hypergraph/fm.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/hypergraph/fm.cpp.o.d"
+  "/root/repo/src/hypergraph/hypergraph.cpp" "src/CMakeFiles/pdslin.dir/hypergraph/hypergraph.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/hypergraph/hypergraph.cpp.o.d"
+  "/root/repo/src/hypergraph/initial.cpp" "src/CMakeFiles/pdslin.dir/hypergraph/initial.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/hypergraph/initial.cpp.o.d"
+  "/root/repo/src/hypergraph/metrics.cpp" "src/CMakeFiles/pdslin.dir/hypergraph/metrics.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/hypergraph/metrics.cpp.o.d"
+  "/root/repo/src/hypergraph/recursive.cpp" "src/CMakeFiles/pdslin.dir/hypergraph/recursive.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/hypergraph/recursive.cpp.o.d"
+  "/root/repo/src/iterative/bicgstab.cpp" "src/CMakeFiles/pdslin.dir/iterative/bicgstab.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/iterative/bicgstab.cpp.o.d"
+  "/root/repo/src/iterative/gmres.cpp" "src/CMakeFiles/pdslin.dir/iterative/gmres.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/iterative/gmres.cpp.o.d"
+  "/root/repo/src/obs/json.cpp" "src/CMakeFiles/pdslin.dir/obs/json.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/obs/json.cpp.o.d"
+  "/root/repo/src/obs/metrics.cpp" "src/CMakeFiles/pdslin.dir/obs/metrics.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/obs/metrics.cpp.o.d"
+  "/root/repo/src/obs/report.cpp" "src/CMakeFiles/pdslin.dir/obs/report.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/obs/report.cpp.o.d"
+  "/root/repo/src/obs/trace.cpp" "src/CMakeFiles/pdslin.dir/obs/trace.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/obs/trace.cpp.o.d"
+  "/root/repo/src/parallel/cost_model.cpp" "src/CMakeFiles/pdslin.dir/parallel/cost_model.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/parallel/cost_model.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "src/CMakeFiles/pdslin.dir/parallel/thread_pool.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/parallel/thread_pool.cpp.o.d"
+  "/root/repo/src/reorder/hypergraph_rhs.cpp" "src/CMakeFiles/pdslin.dir/reorder/hypergraph_rhs.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/reorder/hypergraph_rhs.cpp.o.d"
+  "/root/repo/src/reorder/padding.cpp" "src/CMakeFiles/pdslin.dir/reorder/padding.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/reorder/padding.cpp.o.d"
+  "/root/repo/src/reorder/postorder_rhs.cpp" "src/CMakeFiles/pdslin.dir/reorder/postorder_rhs.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/reorder/postorder_rhs.cpp.o.d"
+  "/root/repo/src/reorder/quasidense.cpp" "src/CMakeFiles/pdslin.dir/reorder/quasidense.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/reorder/quasidense.cpp.o.d"
+  "/root/repo/src/sparse/convert.cpp" "src/CMakeFiles/pdslin.dir/sparse/convert.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/sparse/convert.cpp.o.d"
+  "/root/repo/src/sparse/coo.cpp" "src/CMakeFiles/pdslin.dir/sparse/coo.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/sparse/coo.cpp.o.d"
+  "/root/repo/src/sparse/csr.cpp" "src/CMakeFiles/pdslin.dir/sparse/csr.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/sparse/csr.cpp.o.d"
+  "/root/repo/src/sparse/io.cpp" "src/CMakeFiles/pdslin.dir/sparse/io.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/sparse/io.cpp.o.d"
+  "/root/repo/src/sparse/ops.cpp" "src/CMakeFiles/pdslin.dir/sparse/ops.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/sparse/ops.cpp.o.d"
+  "/root/repo/src/sparse/permute.cpp" "src/CMakeFiles/pdslin.dir/sparse/permute.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/sparse/permute.cpp.o.d"
+  "/root/repo/src/sparse/spgemm.cpp" "src/CMakeFiles/pdslin.dir/sparse/spgemm.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/sparse/spgemm.cpp.o.d"
+  "/root/repo/src/sparse/symmetrize.cpp" "src/CMakeFiles/pdslin.dir/sparse/symmetrize.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/sparse/symmetrize.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/pdslin.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/pdslin.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/pdslin.dir/util/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for pdslin.
+# This may be replaced when dependencies are built.

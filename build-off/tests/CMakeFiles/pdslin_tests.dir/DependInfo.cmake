@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_core_partition.cpp" "tests/CMakeFiles/pdslin_tests.dir/test_core_partition.cpp.o" "gcc" "tests/CMakeFiles/pdslin_tests.dir/test_core_partition.cpp.o.d"
+  "/root/repo/tests/test_direct.cpp" "tests/CMakeFiles/pdslin_tests.dir/test_direct.cpp.o" "gcc" "tests/CMakeFiles/pdslin_tests.dir/test_direct.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/pdslin_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/pdslin_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/pdslin_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/pdslin_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_gen.cpp" "tests/CMakeFiles/pdslin_tests.dir/test_gen.cpp.o" "gcc" "tests/CMakeFiles/pdslin_tests.dir/test_gen.cpp.o.d"
+  "/root/repo/tests/test_generators_advanced.cpp" "tests/CMakeFiles/pdslin_tests.dir/test_generators_advanced.cpp.o" "gcc" "tests/CMakeFiles/pdslin_tests.dir/test_generators_advanced.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/pdslin_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/pdslin_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_hypergraph.cpp" "tests/CMakeFiles/pdslin_tests.dir/test_hypergraph.cpp.o" "gcc" "tests/CMakeFiles/pdslin_tests.dir/test_hypergraph.cpp.o.d"
+  "/root/repo/tests/test_iterative.cpp" "tests/CMakeFiles/pdslin_tests.dir/test_iterative.cpp.o" "gcc" "tests/CMakeFiles/pdslin_tests.dir/test_iterative.cpp.o.d"
+  "/root/repo/tests/test_obs_report.cpp" "tests/CMakeFiles/pdslin_tests.dir/test_obs_report.cpp.o" "gcc" "tests/CMakeFiles/pdslin_tests.dir/test_obs_report.cpp.o.d"
+  "/root/repo/tests/test_obs_trace.cpp" "tests/CMakeFiles/pdslin_tests.dir/test_obs_trace.cpp.o" "gcc" "tests/CMakeFiles/pdslin_tests.dir/test_obs_trace.cpp.o.d"
+  "/root/repo/tests/test_parallel_determinism.cpp" "tests/CMakeFiles/pdslin_tests.dir/test_parallel_determinism.cpp.o" "gcc" "tests/CMakeFiles/pdslin_tests.dir/test_parallel_determinism.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/pdslin_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/pdslin_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_reorder.cpp" "tests/CMakeFiles/pdslin_tests.dir/test_reorder.cpp.o" "gcc" "tests/CMakeFiles/pdslin_tests.dir/test_reorder.cpp.o.d"
+  "/root/repo/tests/test_schur_assembly.cpp" "tests/CMakeFiles/pdslin_tests.dir/test_schur_assembly.cpp.o" "gcc" "tests/CMakeFiles/pdslin_tests.dir/test_schur_assembly.cpp.o.d"
+  "/root/repo/tests/test_solve_path.cpp" "tests/CMakeFiles/pdslin_tests.dir/test_solve_path.cpp.o" "gcc" "tests/CMakeFiles/pdslin_tests.dir/test_solve_path.cpp.o.d"
+  "/root/repo/tests/test_solver.cpp" "tests/CMakeFiles/pdslin_tests.dir/test_solver.cpp.o" "gcc" "tests/CMakeFiles/pdslin_tests.dir/test_solver.cpp.o.d"
+  "/root/repo/tests/test_sparse_core.cpp" "tests/CMakeFiles/pdslin_tests.dir/test_sparse_core.cpp.o" "gcc" "tests/CMakeFiles/pdslin_tests.dir/test_sparse_core.cpp.o.d"
+  "/root/repo/tests/test_sparse_ops.cpp" "tests/CMakeFiles/pdslin_tests.dir/test_sparse_ops.cpp.o" "gcc" "tests/CMakeFiles/pdslin_tests.dir/test_sparse_ops.cpp.o.d"
+  "/root/repo/tests/test_util_parallel.cpp" "tests/CMakeFiles/pdslin_tests.dir/test_util_parallel.cpp.o" "gcc" "tests/CMakeFiles/pdslin_tests.dir/test_util_parallel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-off/src/CMakeFiles/pdslin.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

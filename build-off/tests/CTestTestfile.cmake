@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-off/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-off/tests/pdslin_tests[1]_include.cmake")
+add_test(parallel_suite "/root/repo/build-off/tests/pdslin_tests" "--gtest_filter=ThreadPool.*:ParallelFor.*:TaskGroup.*:ParallelRanges.*:ThreadBudget.*:ParallelDeterminism.*:SolvePath.*")
+set_tests_properties(parallel_suite PROPERTIES  LABELS "parallel" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;32;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(obs_suite "/root/repo/build-off/tests/pdslin_tests" "--gtest_filter=ObsTrace.*:ObsMetrics.*:ObsReport.*")
+set_tests_properties(obs_suite PROPERTIES  LABELS "obs;parallel" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;41;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdslin_cli.dir/pdslin_cli.cpp.o"
+  "CMakeFiles/pdslin_cli.dir/pdslin_cli.cpp.o.d"
+  "pdslin"
+  "pdslin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdslin_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
