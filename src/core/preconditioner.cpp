@@ -24,15 +24,22 @@ SchurPreconditioner::SchurPreconditioner(const CsrMatrix& s_tilde,
 
 void SchurPreconditioner::apply(std::span<const value_t> x,
                                 std::span<value_t> y) const {
+  apply_with_scratch(x, y, scratch_);
+}
+
+void SchurPreconditioner::apply_with_scratch(
+    std::span<const value_t> x, std::span<value_t> y,
+    std::vector<value_t>& scratch) const {
   PDSLIN_CHECK(x.size() == static_cast<std::size_t>(n_));
   PDSLIN_CHECK(y.size() == static_cast<std::size_t>(n_));
+  if (scratch.size() < static_cast<std::size_t>(n_)) scratch.resize(n_);
   // Permute into factor space, solve, permute back.
   for (index_t k = 0; k < n_; ++k) {
-    scratch_[k] = x[colmap_[lu_.row_perm[k]]];
+    scratch[k] = x[colmap_[lu_.row_perm[k]]];
   }
-  lower_solve_dense(lu_.lower, scratch_, /*unit_diag=*/true);
-  upper_solve_dense(lu_.upper, scratch_);
-  for (index_t j = 0; j < n_; ++j) y[colmap_[j]] = scratch_[j];
+  lower_solve_dense(lu_.lower, scratch, /*unit_diag=*/true);
+  upper_solve_dense(lu_.upper, scratch);
+  for (index_t j = 0; j < n_; ++j) y[colmap_[j]] = scratch[j];
 }
 
 }  // namespace pdslin

@@ -19,6 +19,13 @@ class SchurPreconditioner final : public LinearOperator {
   [[nodiscard]] index_t size() const override { return n_; }
   void apply(std::span<const value_t> x, std::span<value_t> y) const override;
 
+  /// apply() through caller-owned scratch (resized to n if short). The
+  /// factors themselves are immutable after construction, so any number of
+  /// threads may apply one preconditioner concurrently as long as each
+  /// brings its own scratch — the serve layer's const-reuse contract.
+  void apply_with_scratch(std::span<const value_t> x, std::span<value_t> y,
+                          std::vector<value_t>& scratch) const;
+
   [[nodiscard]] long long factor_nnz() const { return lu_.fill_nnz(); }
   [[nodiscard]] double factor_seconds() const { return factor_seconds_; }
 

@@ -17,6 +17,40 @@
 
 namespace pdslin {
 
+namespace {
+
+std::size_t csr_bytes(const CsrMatrix& m) {
+  return m.row_ptr.size() * sizeof(index_t) +
+         m.col_idx.size() * sizeof(index_t) + m.values.size() * sizeof(value_t);
+}
+
+std::size_t csc_bytes(const CscMatrix& m) {
+  return m.col_ptr.size() * sizeof(index_t) +
+         m.row_idx.size() * sizeof(index_t) + m.values.size() * sizeof(value_t);
+}
+
+std::size_t index_bytes(const std::vector<index_t>& v) {
+  return v.size() * sizeof(index_t);
+}
+
+/// LinearOperator view binding the shared (const) LU(S̃) preconditioner to a
+/// per-context scratch buffer, so concurrent solves never share apply state.
+class PrecondView final : public LinearOperator {
+ public:
+  PrecondView(const SchurPreconditioner& p, std::vector<value_t>& scratch)
+      : p_(p), scratch_(scratch) {}
+  [[nodiscard]] index_t size() const override { return p_.size(); }
+  void apply(std::span<const value_t> x, std::span<value_t> y) const override {
+    p_.apply_with_scratch(x, y, scratch_);
+  }
+
+ private:
+  const SchurPreconditioner& p_;
+  std::vector<value_t>& scratch_;
+};
+
+}  // namespace
+
 SchurSolver::SchurSolver(CsrMatrix a, SolverOptions opt)
     : a_(std::move(a)), opt_(std::move(opt)) {
   PDSLIN_CHECK_MSG(a_.rows == a_.cols, "solver needs a square matrix");
@@ -82,6 +116,25 @@ void SchurSolver::setup(const CsrMatrix* incidence) {
            stats_.partition_seconds, "s)");
 }
 
+void SchurSolver::adopt_partition(DbbdPartition dbbd) {
+  PDSLIN_SPAN("setup.adopt_partition");
+  PDSLIN_CHECK_MSG(dbbd.n == a_.rows,
+                   "adopted partition must cover the matrix dimension");
+  PDSLIN_CHECK_MSG(dbbd.num_parts == opt_.num_subdomains,
+                   "adopted partition must match num_subdomains");
+  WallTimer timer;
+  dbbd_ = std::move(dbbd);
+  stats_.partition_seconds = timer.seconds();
+  obs::gauge("partition.separator_size")
+      .set(static_cast<double>(dbbd_.separator_size()));
+  stats_.partition = dbbd_stats(a_, dbbd_);
+  stats_.schur_dim = dbbd_.separator_size();
+  setup_done_ = true;
+  factor_done_ = false;
+  log_info("partition: adopted k=", opt_.num_subdomains,
+           " separator=", dbbd_.separator_size());
+}
+
 void SchurSolver::factor() {
   PDSLIN_SPAN("factor");
   PDSLIN_CHECK_MSG(setup_done_, "call setup() before factor()");
@@ -144,25 +197,28 @@ void SchurSolver::factor() {
     stats_.precond_nnz = 0;
   }
 
-  // Preallocate the solve path so every later solve() runs without touching
-  // the heap inside the Schur operator.
-  solve_ws_.clear();
-  ensure_solve_workspaces();
-
   factor_done_ = true;
+
+  // Preallocate the member solve path so every later solve() runs without
+  // touching the heap inside the Schur operator.
+  ctx_.sub.clear();
+  prepare_context(ctx_);
+  stats_.solve_workspace_allocs = ctx_.allocations();
+
   log_info("factor: LU(S~) nnz=", stats_.precond_nnz, " (",
            stats_.lu_s_seconds, "s)");
 }
 
-void SchurSolver::ensure_solve_workspaces() {
+void SchurSolver::prepare_context(SolveContext& ctx) const {
+  PDSLIN_CHECK_MSG(factor_done_, "call factor() before prepare_context()");
   const index_t k = opt_.num_subdomains;
   const index_t ns = dbbd_.separator_size();
-  if (solve_ws_.size() != static_cast<std::size_t>(k)) {
-    solve_ws_.assign(k, {});
-    ++solve_scratch_allocs_;
+  if (ctx.sub.size() != static_cast<std::size_t>(k)) {
+    ctx.sub.assign(k, {});
+    ++ctx.scratch_allocs;
     for (index_t l = 0; l < k; ++l) {
       const Subdomain& sub = subs_[l];
-      SubdomainSolveScratch& ws = solve_ws_[l];
+      SubdomainSolveScratch& ws = ctx.sub[l];
       const auto nd = static_cast<std::size_t>(sub.d.rows);
       ws.v.resize(sub.e_cols.size());
       ws.t.resize(nd);
@@ -170,16 +226,38 @@ void SchurSolver::ensure_solve_workspaces() {
       ws.w.resize(nd);
       ws.r.resize(sub.f_rows.size());
       ws.dinv_f.resize(nd);
-      solve_scratch_allocs_ += 6;
+      ctx.scratch_allocs += 6;
     }
   }
-  if (ghat_.size() < static_cast<std::size_t>(ns)) {
-    ghat_.resize(ns);
-    y_.resize(ns);
-    solve_scratch_allocs_ += 2;
+  if (ctx.ghat.size() < static_cast<std::size_t>(ns)) {
+    ctx.ghat.resize(ns);
+    ctx.y.resize(ns);
+    ctx.precond.resize(ns);
+    ctx.scratch_allocs += 3;
   }
-  stats_.solve_workspace_allocs =
-      solve_scratch_allocs_ + gmres_ws_.allocations + bicgstab_ws_.allocations;
+}
+
+std::size_t SchurSolver::memory_bytes() const {
+  std::size_t bytes = csr_bytes(a_);
+  bytes += index_bytes(dbbd_.part) + index_bytes(dbbd_.perm) +
+           index_bytes(dbbd_.iperm) + index_bytes(dbbd_.domain_offset);
+  for (const Subdomain& sub : subs_) {
+    bytes += csr_bytes(sub.d) + csr_bytes(sub.ehat) + csr_bytes(sub.fhat);
+    bytes += index_bytes(sub.interior) + index_bytes(sub.e_cols) +
+             index_bytes(sub.f_rows);
+  }
+  for (const SubdomainFactorization& f : facts_) {
+    bytes += csc_bytes(f.lu.lower) + csc_bytes(f.lu.upper) +
+             index_bytes(f.lu.row_perm);
+    bytes += index_bytes(f.colmap) + index_bytes(f.rowmap);
+    bytes += csr_bytes(f.t_tilde);
+  }
+  bytes += csr_bytes(c_block_) + csr_bytes(s_tilde_);
+  // LU(S̃): nnz(L+U) values + row indices, plus the permutation vectors.
+  bytes += static_cast<std::size_t>(stats_.precond_nnz) *
+           (sizeof(value_t) + sizeof(index_t));
+  bytes += 2 * static_cast<std::size_t>(stats_.schur_dim) * sizeof(index_t);
+  return bytes;
 }
 
 void SchurSolver::for_each_subdomain(
@@ -215,26 +293,25 @@ void SchurSolver::domain_solve(index_t l, std::span<const value_t> b,
 
 // Implicit Schur operator: S y = C y − Σ_ℓ F̂_ℓ D_ℓ⁻¹ Ê_ℓ (R_Eᵀ y).
 //
-// The per-subdomain sweeps write only into their own preallocated scratch
-// and run concurrently under the outer thread budget; the separator-row
-// subtractions are then stitched serially in subdomain order, so the result
-// is bitwise identical to the serial sweep for any thread count (the same
-// block-ordered-stitching discipline as direct/multirhs.cpp).
+// The per-subdomain sweeps write only into the bound context's preallocated
+// scratch and run concurrently under the outer thread budget; the
+// separator-row subtractions are then stitched serially in subdomain order,
+// so the result is bitwise identical to the serial sweep for any thread
+// count (the same block-ordered-stitching discipline as direct/multirhs.cpp).
 class SchurSolver::SchurOperator final : public LinearOperator {
  public:
-  explicit SchurOperator(const SchurSolver& s) : s_(s) {}
+  SchurOperator(const SchurSolver& s, SolveContext& ctx) : s_(s), ctx_(ctx) {}
   [[nodiscard]] index_t size() const override {
     return s_.dbbd_.separator_size();
   }
   void apply(std::span<const value_t> y, std::span<value_t> out) const override {
     PDSLIN_SPAN("schur.apply");
-    ++s_.stats_.operator_applies;
-    ++s_.stats_.solve_applies;
+    ++ctx_.applies;
     spmv(s_.c_block_, y, out);
     s_.for_each_subdomain([&](int l) {
       PDSLIN_SPAN_I("schur.sweep", l);
       const Subdomain& sub = s_.subs_[l];
-      SubdomainSolveScratch& ws = s_.solve_ws_[l];
+      SubdomainSolveScratch& ws = ctx_.sub[l];
       for (std::size_t c = 0; c < sub.e_cols.size(); ++c) {
         ws.v[c] = y[sub.e_cols[c]];
       }
@@ -246,7 +323,7 @@ class SchurSolver::SchurOperator final : public LinearOperator {
     // subtraction order is fixed to ascending ℓ regardless of schedule.
     for (index_t l = 0; l < s_.opt_.num_subdomains; ++l) {
       const Subdomain& sub = s_.subs_[l];
-      const SubdomainSolveScratch& ws = s_.solve_ws_[l];
+      const SubdomainSolveScratch& ws = ctx_.sub[l];
       for (std::size_t fr = 0; fr < sub.f_rows.size(); ++fr) {
         out[sub.f_rows[fr]] -= ws.r[fr];
       }
@@ -255,16 +332,18 @@ class SchurSolver::SchurOperator final : public LinearOperator {
 
  private:
   const SchurSolver& s_;
+  SolveContext& ctx_;
 };
 
 GmresResult SchurSolver::solve_column(const SchurOperator& op,
                                       std::span<const value_t> b,
-                                      std::span<value_t> x) {
+                                      std::span<value_t> x,
+                                      SolveContext& ctx) const {
   const index_t k = opt_.num_subdomains;
   const index_t ns = dbbd_.separator_size();
   const index_t sep_begin = dbbd_.domain_offset[k];
-  const std::span<value_t> ghat(ghat_.data(), static_cast<std::size_t>(ns));
-  const std::span<value_t> y(y_.data(), static_cast<std::size_t>(ns));
+  const std::span<value_t> ghat(ctx.ghat.data(), static_cast<std::size_t>(ns));
+  const std::span<value_t> y(ctx.y.data(), static_cast<std::size_t>(ns));
 
   // ĝ = g − Σ F_ℓ D_ℓ⁻¹ f_ℓ. The D_ℓ⁻¹ f_ℓ solves and F̂ products run
   // per-subdomain in parallel (disjoint scratch); the reduction onto ĝ is
@@ -273,7 +352,7 @@ GmresResult SchurSolver::solve_column(const SchurOperator& op,
   for_each_subdomain([&](int l) {
     const Subdomain& sub = subs_[l];
     const index_t nd = sub.d.rows;
-    SubdomainSolveScratch& ws = solve_ws_[l];
+    SubdomainSolveScratch& ws = ctx.sub[l];
     const std::span<value_t> f(ws.t.data(), static_cast<std::size_t>(nd));
     for (index_t i = 0; i < nd; ++i) f[i] = b[sub.interior[i]];
     domain_solve_scratch(l, f, ws.dinv_f, ws.w);
@@ -281,23 +360,27 @@ GmresResult SchurSolver::solve_column(const SchurOperator& op,
   });
   for (index_t l = 0; l < k; ++l) {
     const Subdomain& sub = subs_[l];
-    const SubdomainSolveScratch& ws = solve_ws_[l];
+    const SubdomainSolveScratch& ws = ctx.sub[l];
     for (std::size_t fr = 0; fr < sub.f_rows.size(); ++fr) {
       ghat[sub.f_rows[fr]] -= ws.r[fr];
     }
   }
 
-  // Krylov solve of the Schur system with the LU(S̃) preconditioner.
+  // Krylov solve of the Schur system with the LU(S̃) preconditioner, its
+  // apply bound to this context's scratch (concurrent solves never share).
   std::fill(y.begin(), y.end(), 0.0);
+  std::optional<PrecondView> precond;
+  if (precond_) precond.emplace(*precond_, ctx.precond);
+  const LinearOperator* m = precond ? &*precond : nullptr;
   GmresResult res;
   if (opt_.krylov == KrylovMethod::Bicgstab) {
-    const BicgstabResult br = bicgstab(op, precond_.get(), ghat, y,
-                                       opt_.bicgstab, &bicgstab_ws_);
+    const BicgstabResult br =
+        bicgstab(op, m, ghat, y, opt_.bicgstab, &ctx.bicgstab);
     res.iterations = br.iterations;
     res.relative_residual = br.relative_residual;
     res.converged = br.converged;
   } else {
-    res = gmres(op, precond_.get(), ghat, y, opt_.gmres, &gmres_ws_);
+    res = gmres(op, m, ghat, y, opt_.gmres, &ctx.gmres);
   }
 
   // Back-substitution: u_ℓ = D_ℓ⁻¹ (f_ℓ − E_ℓ y) = dinv_f − D⁻¹ Ê (R y).
@@ -306,7 +389,7 @@ GmresResult SchurSolver::solve_column(const SchurOperator& op,
   for_each_subdomain([&](int l) {
     const Subdomain& sub = subs_[l];
     const index_t nd = sub.d.rows;
-    SubdomainSolveScratch& ws = solve_ws_[l];
+    SubdomainSolveScratch& ws = ctx.sub[l];
     for (std::size_t c = 0; c < sub.e_cols.size(); ++c) {
       ws.v[c] = y[sub.e_cols[c]];
     }
@@ -322,19 +405,17 @@ GmresResult SchurSolver::solve_column(const SchurOperator& op,
 
 std::vector<GmresResult> SchurSolver::solve_multi(std::span<const value_t> b,
                                                   std::span<value_t> x,
-                                                  index_t nrhs) {
+                                                  index_t nrhs,
+                                                  SolveContext& ctx) const {
   PDSLIN_CHECK_MSG(factor_done_, "call factor() before solve()");
   PDSLIN_CHECK_MSG(nrhs >= 1, "need at least one right-hand side");
   const auto n = static_cast<std::size_t>(a_.rows);
   PDSLIN_CHECK(b.size() == n * static_cast<std::size_t>(nrhs));
   PDSLIN_CHECK(x.size() == n * static_cast<std::size_t>(nrhs));
   PDSLIN_SPAN("solve");
-  WallTimer timer;
-  CpuTimer cpu;
 
-  ensure_solve_workspaces();
-  stats_.solve_applies = 0;
-  const SchurOperator op(*this);
+  prepare_context(ctx);
+  const SchurOperator op(*this, ctx);
 
   // One operator, preconditioner and workspace set serves every column.
   std::vector<GmresResult> results;
@@ -342,11 +423,28 @@ std::vector<GmresResult> SchurSolver::solve_multi(std::span<const value_t> b,
   for (index_t j = 0; j < nrhs; ++j) {
     PDSLIN_SPAN_I("solve.column", j);
     results.push_back(
-        solve_column(op, b.subspan(j * n, n), x.subspan(j * n, n)));
+        solve_column(op, b.subspan(j * n, n), x.subspan(j * n, n), ctx));
   }
+  return results;
+}
+
+GmresResult SchurSolver::solve(std::span<const value_t> b,
+                               std::span<value_t> x, SolveContext& ctx) const {
+  return solve_multi(b, x, 1, ctx).front();
+}
+
+std::vector<GmresResult> SchurSolver::solve_multi(std::span<const value_t> b,
+                                                  std::span<value_t> x,
+                                                  index_t nrhs) {
+  WallTimer timer;
+  CpuTimer cpu;
+  const long long applies_before = ctx_.applies;
+  std::vector<GmresResult> results = solve_multi(b, x, nrhs, ctx_);
 
   stats_.solve_seconds = timer.seconds();
   stats_.solve_cpu_seconds = cpu.seconds();
+  stats_.solve_applies = ctx_.applies - applies_before;
+  stats_.operator_applies += stats_.solve_applies;
   stats_.nrhs = nrhs;
   stats_.iterations = 0;
   stats_.relative_residual = 0.0;
@@ -359,8 +457,7 @@ std::vector<GmresResult> SchurSolver::solve_multi(std::span<const value_t> b,
   }
   // Workspace growth, if any, happened during this batch; refresh the
   // exported counter so callers can pin the allocation-free steady state.
-  stats_.solve_workspace_allocs =
-      solve_scratch_allocs_ + gmres_ws_.allocations + bicgstab_ws_.allocations;
+  stats_.solve_workspace_allocs = ctx_.allocations();
   return results;
 }
 

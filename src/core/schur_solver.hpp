@@ -6,6 +6,7 @@
 // operator → interior back-substitution.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -63,13 +64,64 @@ class SchurSolver {
   /// a clique cover internally. NGD ignores `incidence`.
   void setup(const CsrMatrix* incidence = nullptr);
 
+  /// Phase 1, symbolic-reuse variant: adopt a partition computed for another
+  /// matrix with the same pattern (the serve layer's factorization cache
+  /// keys partitions by structural fingerprint). Skips the partitioner
+  /// entirely; factor() must still run for the new numeric values.
+  void adopt_partition(DbbdPartition dbbd);
+
   /// Phase 2 — subdomain factorizations, S̃ assembly, LU(S̃). Also
   /// preallocates the per-subdomain solve workspaces, so the solve phase
-  /// runs allocation-free.
+  /// runs allocation-free. After factor() returns, the setup is immutable:
+  /// every solve entry point below is const and reentrant as long as each
+  /// concurrent caller brings its own SolveContext.
   void factor();
 
+  /// Everything one subdomain's solve-path sweep mutates (the per-worker
+  /// scratch idiom of direct/multirhs.cpp): the packed interface gather,
+  /// the Ê·v product, the D⁻¹ result, the triangular-solve permutation
+  /// scratch, the F̂·z product, and D⁻¹f kept from the ĝ reduction for the
+  /// back-substitution.
+  struct SubdomainSolveScratch {
+    std::vector<value_t> v;       // |e_cols| packed interface values
+    std::vector<value_t> t;       // Ê·v (interior dim)
+    std::vector<value_t> z;       // D⁻¹·t (interior dim)
+    std::vector<value_t> w;       // permuted trisolve scratch (interior dim)
+    std::vector<value_t> r;       // F̂·z (|f_rows|)
+    std::vector<value_t> dinv_f;  // D⁻¹·f (interior dim)
+  };
+
+  /// The complete mutable state of one solve path. A factored solver holds
+  /// no other solve-time mutable state, so N threads may call the const
+  /// solve()/solve_multi() overloads concurrently against one setup — each
+  /// with its own SolveContext — and every one gets results bitwise
+  /// identical to a serial solve (regression-tested in tests/test_serve.cpp).
+  struct SolveContext {
+    std::vector<SubdomainSolveScratch> sub;
+    std::vector<value_t> ghat, y;       // separator RHS / solution
+    std::vector<value_t> precond;       // LU(S̃) apply scratch
+    GmresWorkspace gmres;
+    BicgstabWorkspace bicgstab;
+    /// Buffer (re)allocation events (same counting discipline as
+    /// GmresWorkspace::allocations); flat across repeated same-shape solves.
+    long long scratch_allocs = 0;
+    /// Implicit-Schur operator applications recorded by solves through this
+    /// context (the per-context replacement for SolverStats counters).
+    long long applies = 0;
+    [[nodiscard]] long long allocations() const {
+      return scratch_allocs + gmres.allocations + bicgstab.allocations;
+    }
+  };
+
+  /// Size (grow-only, idempotent) every context buffer for this setup.
+  /// Called automatically by the solve paths; callers that want a strictly
+  /// allocation-free first solve can prepare the context up front.
+  void prepare_context(SolveContext& ctx) const;
+
   /// Phase 3 — solve A x = b (callable repeatedly; no heap allocation in
-  /// the Schur operator after the first call).
+  /// the Schur operator after the first call). Uses the solver's own
+  /// context and updates stats(); NOT reentrant — use the const overloads
+  /// for concurrent solves.
   GmresResult solve(std::span<const value_t> b, std::span<value_t> x);
 
   /// Batched phase 3 — solve A X = B for nrhs right-hand sides stored
@@ -78,6 +130,15 @@ class SchurSolver {
   /// per-column results are returned in order.
   std::vector<GmresResult> solve_multi(std::span<const value_t> b,
                                        std::span<value_t> x, index_t nrhs);
+
+  /// Reentrant solve against a caller-owned context: const, touches no
+  /// solver state, safe to call from any number of threads concurrently
+  /// (one context per thread). Does not update stats().
+  GmresResult solve(std::span<const value_t> b, std::span<value_t> x,
+                    SolveContext& ctx) const;
+  std::vector<GmresResult> solve_multi(std::span<const value_t> b,
+                                       std::span<value_t> x, index_t nrhs,
+                                       SolveContext& ctx) const;
 
   [[nodiscard]] const SolverStats& stats() const { return stats_; }
   [[nodiscard]] const CsrMatrix& matrix() const { return a_; }
@@ -88,6 +149,12 @@ class SchurSolver {
   }
   [[nodiscard]] const CsrMatrix& schur_tilde() const { return s_tilde_; }
   [[nodiscard]] const SolverOptions& options() const { return opt_; }
+  [[nodiscard]] bool factored() const { return factor_done_; }
+
+  /// Approximate resident bytes of the completed setup: matrix + partition
+  /// + per-subdomain factors/interfaces + S̃ + LU(S̃). The serve-layer
+  /// factorization cache charges entries by this number.
+  [[nodiscard]] std::size_t memory_bytes() const;
 
   /// Apply D_ℓ⁻¹ (dense RHS) through the stored factors. Public for tests.
   void domain_solve(index_t l, std::span<const value_t> b,
@@ -96,34 +163,17 @@ class SchurSolver {
  private:
   class SchurOperator;
 
-  /// Everything one subdomain's solve-path sweep mutates, preallocated in
-  /// factor() (the per-worker scratch idiom of direct/multirhs.cpp): the
-  /// packed interface gather, the Ê·v product, the D⁻¹ result, the
-  /// triangular-solve permutation scratch, the F̂·z product, and D⁻¹f kept
-  /// from the ĝ reduction for the back-substitution.
-  struct SubdomainSolveScratch {
-    std::vector<value_t> v;       // |e_cols| packed interface values
-    std::vector<value_t> t;       // Ê·v (interior dim)
-    std::vector<value_t> z;       // D⁻¹·t (interior dim)
-    std::vector<value_t> w;       // permuted trisolve scratch (interior dim)
-    std::vector<value_t> r;       // F̂·z (|f_rows|)
-    std::vector<value_t> dinv_f;  // D⁻¹·f (interior dim)
-  };
-
   /// domain_solve through caller-provided scratch (no allocation).
   void domain_solve_scratch(index_t l, std::span<const value_t> b,
                             std::span<value_t> z,
                             std::vector<value_t>& w) const;
-  /// Allocate (idempotently) the solve-path workspaces; counts allocation
-  /// events into solve_scratch_allocs_.
-  void ensure_solve_workspaces();
   /// Run body(l) for every subdomain, fanned out over opt_.threads when
   /// > 1 (serial otherwise). Used by the operator apply, the ĝ reduction
   /// and the back-substitution.
   void for_each_subdomain(const std::function<void(int)>& body) const;
-  /// One column of the batched solve; assumes workspaces exist.
+  /// One column of the batched solve; assumes the context is prepared.
   GmresResult solve_column(const SchurOperator& op, std::span<const value_t> b,
-                           std::span<value_t> x);
+                           std::span<value_t> x, SolveContext& ctx) const;
 
   CsrMatrix a_;
   SolverOptions opt_;
@@ -133,18 +183,12 @@ class SchurSolver {
   CsrMatrix c_block_;
   CsrMatrix s_tilde_;
   std::unique_ptr<SchurPreconditioner> precond_;
-  // Mutable: the (const) Schur operator apply bumps the apply counters.
-  mutable SolverStats stats_;
+  SolverStats stats_;
   bool setup_done_ = false;
   bool factor_done_ = false;
 
-  // Solve-path workspaces (mutable: the Schur operator's apply() is const
-  // but reuses the per-subdomain scratch; solve() itself serializes use).
-  mutable std::vector<SubdomainSolveScratch> solve_ws_;
-  std::vector<value_t> ghat_, y_;
-  GmresWorkspace gmres_ws_;
-  BicgstabWorkspace bicgstab_ws_;
-  long long solve_scratch_allocs_ = 0;
+  /// Context backing the non-const convenience solve path (stats-updating).
+  SolveContext ctx_;
 };
 
 }  // namespace pdslin

@@ -38,6 +38,29 @@ std::vector<long long> Histogram::bucket_counts() const {
   return out;
 }
 
+double Histogram::quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const std::vector<long long> counts = bucket_counts();
+  long long total = 0;
+  for (const long long c : counts) total += c;
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  long long cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cum += counts[i];
+    if (static_cast<double>(cum) < rank) continue;
+    if (i >= bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+    const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+    const double hi = bounds_[i];
+    const double in_bucket = static_cast<double>(counts[i]);
+    const double below = static_cast<double>(cum - counts[i]);
+    const double frac =
+        in_bucket > 0.0 ? (rank - below) / in_bucket : 0.0;
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
 struct MetricsRegistry::Impl {
   mutable std::mutex mutex;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;

@@ -49,6 +49,10 @@ class Histogram {
   [[nodiscard]] double sum() const { return sum_.load(std::memory_order_relaxed); }
   [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
   [[nodiscard]] std::vector<long long> bucket_counts() const;
+  /// Quantile estimate (q in [0,1]) by linear interpolation inside the
+  /// owning bucket — the p50/p99 the serve layer reports. Returns 0 when
+  /// empty; observations past the last bound clamp to it.
+  [[nodiscard]] double quantile(double q) const;
 
  private:
   friend class MetricsRegistry;
