@@ -1,0 +1,252 @@
+#include "check/dense_oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sparse/ops.hpp"
+#include "util/error.hpp"
+
+namespace pdslin::check {
+
+namespace {
+
+void check_oracle_dim(index_t n) {
+  PDSLIN_CHECK_MSG(n <= kOracleDimLimit,
+                   "problem exceeds the dense-oracle dimension limit");
+}
+
+}  // namespace
+
+DenseMatrix dense_from_csr(const CsrMatrix& m) {
+  check_oracle_dim(std::max(m.rows, m.cols));
+  DenseMatrix d(m.rows, m.cols);
+  for (index_t i = 0; i < m.rows; ++i) {
+    for (index_t q = m.row_ptr[i]; q < m.row_ptr[i + 1]; ++q) {
+      d.at(i, m.col_idx[q]) += m.has_values() ? m.values[q] : 1.0;
+    }
+  }
+  return d;
+}
+
+DenseMatrix dense_from_csc(const CscMatrix& m) {
+  check_oracle_dim(std::max(m.rows, m.cols));
+  DenseMatrix d(m.rows, m.cols);
+  for (index_t j = 0; j < m.cols; ++j) {
+    for (index_t q = m.col_ptr[j]; q < m.col_ptr[j + 1]; ++q) {
+      d.at(m.row_idx[q], j) += m.has_values() ? m.values[q] : 1.0;
+    }
+  }
+  return d;
+}
+
+double max_abs_diff(const DenseMatrix& x, const DenseMatrix& y) {
+  PDSLIN_CHECK(x.rows == y.rows && x.cols == y.cols);
+  double m = 0.0;
+  for (std::size_t i = 0; i < x.a.size(); ++i) {
+    m = std::max(m, std::abs(x.a[i] - y.a[i]));
+  }
+  return m;
+}
+
+double max_abs(const DenseMatrix& x) {
+  double m = 0.0;
+  for (const value_t v : x.a) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double DenseLu::condition_estimate() const {
+  if (singular || min_pivot <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return max_pivot / min_pivot;
+}
+
+DenseLu dense_lu(const DenseMatrix& a) {
+  PDSLIN_CHECK_MSG(a.rows == a.cols, "dense_lu needs a square matrix");
+  check_oracle_dim(a.rows);
+  DenseLu f;
+  f.n = a.rows;
+  f.lu = a;
+  f.perm.resize(f.n);
+  for (index_t i = 0; i < f.n; ++i) f.perm[i] = i;
+  f.min_pivot = std::numeric_limits<double>::infinity();
+
+  const index_t n = f.n;
+  DenseMatrix& lu = f.lu;
+  for (index_t k = 0; k < n; ++k) {
+    index_t p = k;
+    for (index_t i = k + 1; i < n; ++i) {
+      if (std::abs(lu.at(i, k)) > std::abs(lu.at(p, k))) p = i;
+    }
+    const double piv = std::abs(lu.at(p, k));
+    if (piv == 0.0 || !std::isfinite(piv)) {
+      f.singular = true;
+      f.singular_col = k;
+      if (f.min_pivot == std::numeric_limits<double>::infinity()) {
+        f.min_pivot = 0.0;
+      }
+      return f;
+    }
+    if (p != k) {
+      for (index_t j = 0; j < n; ++j) std::swap(lu.at(k, j), lu.at(p, j));
+      std::swap(f.perm[k], f.perm[p]);
+    }
+    f.min_pivot = std::min(f.min_pivot, piv);
+    f.max_pivot = std::max(f.max_pivot, piv);
+    const value_t d = lu.at(k, k);
+    for (index_t i = k + 1; i < n; ++i) {
+      const value_t m = lu.at(i, k) / d;
+      lu.at(i, k) = m;
+      if (m == 0.0) continue;
+      for (index_t j = k + 1; j < n; ++j) lu.at(i, j) -= m * lu.at(k, j);
+    }
+  }
+  if (n == 0) f.min_pivot = f.max_pivot = 1.0;
+  return f;
+}
+
+void dense_lu_solve(const DenseLu& f, std::span<const value_t> b,
+                    std::span<value_t> x, index_t nrhs) {
+  PDSLIN_CHECK_MSG(!f.singular, "dense_lu_solve on singular factors");
+  const auto n = static_cast<std::size_t>(f.n);
+  PDSLIN_CHECK(b.size() == n * static_cast<std::size_t>(nrhs));
+  PDSLIN_CHECK(x.size() == n * static_cast<std::size_t>(nrhs));
+  for (index_t c = 0; c < nrhs; ++c) {
+    const std::span<const value_t> bc = b.subspan(c * n, n);
+    const std::span<value_t> xc = x.subspan(c * n, n);
+    // Forward: L y = P b (unit diagonal).
+    for (index_t i = 0; i < f.n; ++i) {
+      value_t s = bc[f.perm[i]];
+      for (index_t j = 0; j < i; ++j) s -= f.lu.at(i, j) * xc[j];
+      xc[i] = s;
+    }
+    // Backward: U x = y.
+    for (index_t i = f.n - 1; i >= 0; --i) {
+      value_t s = xc[i];
+      for (index_t j = i + 1; j < f.n; ++j) s -= f.lu.at(i, j) * xc[j];
+      xc[i] = s / f.lu.at(i, i);
+    }
+  }
+}
+
+bool dense_solve(const DenseMatrix& a, std::span<const value_t> b,
+                 std::span<value_t> x, index_t nrhs) {
+  const DenseLu f = dense_lu(a);
+  if (f.singular) return false;
+  dense_lu_solve(f, b, x, nrhs);
+  return true;
+}
+
+namespace {
+
+/// Dense subblock Ap(rows0 + [0,nr), cols0 + [0,nc)) of the DBBD-permuted
+/// matrix: Ap(i, j) = A(perm[i], perm[j]).
+DenseMatrix permuted_block(const CsrMatrix& a, const DbbdPartition& p,
+                           index_t row0, index_t nr, index_t col0, index_t nc) {
+  DenseMatrix d(nr, nc);
+  for (index_t i = 0; i < nr; ++i) {
+    const index_t gi = p.perm[row0 + i];
+    for (index_t q = a.row_ptr[gi]; q < a.row_ptr[gi + 1]; ++q) {
+      const index_t jp = p.iperm[a.col_idx[q]];
+      if (jp >= col0 && jp < col0 + nc) {
+        d.at(i, jp - col0) += a.values[q];
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+bool dense_schur(const CsrMatrix& a, const DbbdPartition& p, DenseMatrix& s) {
+  PDSLIN_CHECK(a.rows == p.n && a.cols == p.n);
+  check_oracle_dim(p.n);
+  const index_t sep0 = p.domain_offset[p.num_parts];
+  const index_t ns = p.n - sep0;
+  s = permuted_block(a, p, sep0, ns, sep0, ns);  // C
+  for (index_t l = 0; l < p.num_parts; ++l) {
+    const index_t d0 = p.domain_offset[l];
+    const index_t nd = p.domain_size(l);
+    if (nd == 0) continue;
+    const DenseMatrix dl = permuted_block(a, p, d0, nd, d0, nd);
+    const DenseLu f = dense_lu(dl);
+    if (f.singular) return false;
+    const DenseMatrix el = permuted_block(a, p, d0, nd, sep0, ns);
+    const DenseMatrix fl = permuted_block(a, p, sep0, ns, d0, nd);
+    // Z = D_ℓ⁻¹ E_ℓ, column by column; S −= F_ℓ · Z.
+    std::vector<value_t> e_col(nd), z_col(nd);
+    for (index_t j = 0; j < ns; ++j) {
+      for (index_t i = 0; i < nd; ++i) e_col[i] = el.at(i, j);
+      dense_lu_solve(f, e_col, z_col);
+      for (index_t i = 0; i < ns; ++i) {
+        value_t acc = 0.0;
+        for (index_t kk = 0; kk < nd; ++kk) acc += fl.at(i, kk) * z_col[kk];
+        s.at(i, j) -= acc;
+      }
+    }
+  }
+  return true;
+}
+
+double interior_block_condition(const CsrMatrix& a, const DbbdPartition& p) {
+  PDSLIN_CHECK(a.rows == p.n && a.cols == p.n);
+  check_oracle_dim(p.n);
+  double worst = 1.0;
+  for (index_t l = 0; l < p.num_parts; ++l) {
+    const index_t d0 = p.domain_offset[l];
+    const index_t nd = p.domain_size(l);
+    if (nd == 0) continue;
+    const DenseLu f = dense_lu(permuted_block(a, p, d0, nd, d0, nd));
+    worst = std::max(worst, f.condition_estimate());
+  }
+  return worst;
+}
+
+bool dense_reduced_rhs(const CsrMatrix& a, const DbbdPartition& p,
+                       std::span<const value_t> b, std::vector<value_t>& ghat) {
+  PDSLIN_CHECK(b.size() == static_cast<std::size_t>(p.n));
+  check_oracle_dim(p.n);
+  const index_t sep0 = p.domain_offset[p.num_parts];
+  const index_t ns = p.n - sep0;
+  ghat.assign(ns, 0.0);
+  for (index_t i = 0; i < ns; ++i) ghat[i] = b[p.perm[sep0 + i]];
+  for (index_t l = 0; l < p.num_parts; ++l) {
+    const index_t d0 = p.domain_offset[l];
+    const index_t nd = p.domain_size(l);
+    if (nd == 0) continue;
+    const DenseMatrix dl = permuted_block(a, p, d0, nd, d0, nd);
+    const DenseLu f = dense_lu(dl);
+    if (f.singular) return false;
+    std::vector<value_t> fv(nd), z(nd);
+    for (index_t i = 0; i < nd; ++i) fv[i] = b[p.perm[d0 + i]];
+    dense_lu_solve(f, fv, z);
+    const DenseMatrix fl = permuted_block(a, p, sep0, ns, d0, nd);
+    for (index_t i = 0; i < ns; ++i) {
+      value_t acc = 0.0;
+      for (index_t kk = 0; kk < nd; ++kk) acc += fl.at(i, kk) * z[kk];
+      ghat[i] -= acc;
+    }
+  }
+  return true;
+}
+
+std::vector<double> true_relative_residuals(const CsrMatrix& a,
+                                            std::span<const value_t> x,
+                                            std::span<const value_t> b,
+                                            index_t nrhs) {
+  const auto n = static_cast<std::size_t>(a.rows);
+  PDSLIN_CHECK(x.size() == n * static_cast<std::size_t>(nrhs));
+  PDSLIN_CHECK(b.size() == n * static_cast<std::size_t>(nrhs));
+  std::vector<double> out;
+  out.reserve(nrhs);
+  for (index_t c = 0; c < nrhs; ++c) {
+    const auto bc = b.subspan(c * n, n);
+    const double r = residual_norm(a, x.subspan(c * n, n), bc);
+    const double bn = norm2(bc);
+    out.push_back(bn > 0.0 ? r / bn : r);
+  }
+  return out;
+}
+
+}  // namespace pdslin::check

@@ -1,0 +1,110 @@
+// Dense reference oracle for the differential correctness harness.
+//
+// Every quantity the sparse pipeline produces through layered fast paths —
+// LU factors, Schur complements, triangular/multi-RHS solves, residuals —
+// has an O(n³)/O(n²) dense counterpart here, computed with the most boring
+// textbook algorithm available. The fuzz driver (tools/pdslin_fuzz) and the
+// invariant checkers (check/invariants.hpp) diff pipeline stages against
+// these on any problem up to kOracleDimLimit unknowns; HYLU
+// (arXiv:2509.07690) validates its hybrid LU the same way against reference
+// factorizations over a matrix corpus.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/dbbd.hpp"
+#include "sparse/csr.hpp"
+
+namespace pdslin::check {
+
+/// Oracles refuse problems above this dimension (O(n³) would dominate the
+/// fuzz loop); the generators stay far below it.
+inline constexpr index_t kOracleDimLimit = 2048;
+
+/// Row-major dense matrix — deliberately minimal, oracle use only.
+struct DenseMatrix {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<value_t> a;  // row-major, rows × cols
+
+  DenseMatrix() = default;
+  DenseMatrix(index_t r, index_t c)
+      : rows(r), cols(c),
+        a(static_cast<std::size_t>(r) * static_cast<std::size_t>(c), 0.0) {}
+
+  [[nodiscard]] value_t& at(index_t i, index_t j) {
+    return a[static_cast<std::size_t>(i) * cols + j];
+  }
+  [[nodiscard]] value_t at(index_t i, index_t j) const {
+    return a[static_cast<std::size_t>(i) * cols + j];
+  }
+};
+
+/// Densify (duplicates summed for pattern-only inputs count as 1.0 each —
+/// same convention as the sparse kernels' value handling).
+DenseMatrix dense_from_csr(const CsrMatrix& m);
+DenseMatrix dense_from_csc(const CscMatrix& m);
+
+/// ‖X − Y‖_max; dimensions must match.
+double max_abs_diff(const DenseMatrix& x, const DenseMatrix& y);
+/// ‖X‖_max.
+double max_abs(const DenseMatrix& x);
+
+/// Dense partial-pivot LU of a square matrix: P·A = L·U packed in `lu`
+/// (L strictly below the diagonal with unit diagonal implied, U on/above).
+struct DenseLu {
+  index_t n = 0;
+  DenseMatrix lu;
+  /// perm[k] = original row that became pivot row k.
+  std::vector<index_t> perm;
+  bool singular = false;
+  index_t singular_col = -1;  // first column with a (near-)zero pivot
+  double min_pivot = 0.0;     // min |pivot| over completed columns
+  double max_pivot = 0.0;
+
+  /// Crude condition proxy: max|pivot| / min|pivot| (∞ when singular).
+  /// Good enough to decide when solution-accuracy comparisons are
+  /// meaningful vs. when only structural checks should gate.
+  [[nodiscard]] double condition_estimate() const;
+};
+
+DenseLu dense_lu(const DenseMatrix& a);
+
+/// X = A⁻¹ B through the factors; `b`/`x` column-major n × nrhs.
+/// Precondition: !f.singular.
+void dense_lu_solve(const DenseLu& f, std::span<const value_t> b,
+                    std::span<value_t> x, index_t nrhs = 1);
+
+/// Factor + solve convenience. Returns false (x untouched) when singular.
+bool dense_solve(const DenseMatrix& a, std::span<const value_t> b,
+                 std::span<value_t> x, index_t nrhs = 1);
+
+/// Oracle Schur complement of the DBBD-permuted system (paper Eq. (1)):
+///   S = C − Σ_ℓ F_ℓ D_ℓ⁻¹ E_ℓ,
+/// computed block-by-block with dense LU solves — no dropping, no sparse
+/// kernels. `a` is the ORIGINAL (unpermuted) matrix. Returns false when
+/// some interior block D_ℓ is singular (`s` is then unspecified).
+bool dense_schur(const CsrMatrix& a, const DbbdPartition& p, DenseMatrix& s);
+
+/// Worst (largest) condition proxy over the interior blocks D_ℓ of the
+/// partition, ∞ when some block is singular. The hybrid method needs every
+/// D_ℓ nonsingular even when the global matrix is healthy — a planted
+/// singular block is a method limitation, not a pipeline bug, and the
+/// differential runner uses this to decide whether a pipeline throw was
+/// legitimate.
+double interior_block_condition(const CsrMatrix& a, const DbbdPartition& p);
+
+/// Oracle reduced right-hand side ĝ = g − Σ_ℓ F_ℓ D_ℓ⁻¹ f_ℓ (separator-local
+/// ordering). Returns false when an interior block is singular.
+bool dense_reduced_rhs(const CsrMatrix& a, const DbbdPartition& p,
+                       std::span<const value_t> b, std::vector<value_t>& ghat);
+
+/// Per-column true relative residuals ‖b_j − A x_j‖₂ / ‖b_j‖₂ (column-major
+/// n × nrhs; a zero column of b reports the absolute norm instead).
+std::vector<double> true_relative_residuals(const CsrMatrix& a,
+                                            std::span<const value_t> x,
+                                            std::span<const value_t> b,
+                                            index_t nrhs = 1);
+
+}  // namespace pdslin::check

@@ -1,0 +1,33 @@
+// Failing-case minimization: given a CaseSpec whose differential run
+// reports violations, greedily shrink the spec (halve n, drop subdomains,
+// single RHS, serial, sparser) while the SAME primary checker keeps firing,
+// ending at a minimal reproducer that replays from a few bytes of JSON
+// (check/artifact.hpp). The shrink ladder is rerun to fixpoint, so a case
+// that started at n ≈ 200 with threads/serve/multi-RHS noise typically
+// lands well under 64 unknowns with every irrelevant axis stripped.
+#pragma once
+
+#include "check/differential.hpp"
+
+namespace pdslin::check {
+
+struct MinimizeOptions {
+  /// Upper bound on differential reruns (each candidate costs one run).
+  int max_attempts = 96;
+  DifferentialOptions diff;
+};
+
+struct MinimizeResult {
+  CaseSpec spec;        // minimal spec still failing
+  CheckReport report;   // its violations
+  std::string primary;  // checker id the shrink preserved
+  int attempts = 0;     // differential reruns spent
+  int shrinks = 0;      // accepted reductions
+};
+
+/// Precondition: run_differential(failing, opt.diff) reports at least one
+/// violation (throws pdslin::Error otherwise).
+MinimizeResult minimize_case(const CaseSpec& failing,
+                             const MinimizeOptions& opt = {});
+
+}  // namespace pdslin::check

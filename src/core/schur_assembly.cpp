@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "check/fault.hpp"
 #include "direct/mindeg.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
@@ -276,13 +277,20 @@ CsrMatrix assemble_schur(const CsrMatrix& c_block,
       acc.add(i, c_block.col_idx[q], c_block.values[q]);
     }
   }
+  // Test hook (check/fault.hpp): an armed SchurGatherOffByOne shifts the
+  // R_F row map down by one — the planted defect the differential fuzz
+  // harness must catch and minimize.
+  const bool gather_fault =
+      check::injected_fault() == check::Fault::SchurGatherOffByOne;
   for (std::size_t l = 0; l < subs.size(); ++l) {
     const CsrMatrix& t = facts[l].t_tilde;
     const auto& rows = subs[l].f_rows;
     const auto& cols = subs[l].e_cols;
     for (index_t r = 0; r < t.rows; ++r) {
+      index_t ri = rows[r];
+      if (gather_fault && ri > 0) --ri;
       for (index_t q = t.row_ptr[r]; q < t.row_ptr[r + 1]; ++q) {
-        acc.add(rows[r], cols[t.col_idx[q]], -t.values[q]);
+        acc.add(ri, cols[t.col_idx[q]], -t.values[q]);
       }
     }
   }
@@ -307,6 +315,12 @@ CsrMatrix assemble_schur(const CsrMatrix& c_block,
                       for (index_t q = s_hat.row_ptr[i]; q < s_hat.row_ptr[i + 1]; ++q) {
                         if (s_hat.col_idx[q] == i || std::abs(s_hat.values[q]) >= cut[i]) ++k;
                       }
+                      // Test hook (check/fault.hpp): silently lose the last
+                      // kept entry of every multi-entry row.
+                      if (k > 1 && check::injected_fault() ==
+                                       check::Fault::SchurDropLastEntry) {
+                        --k;
+                      }
                       keep[i] = k;
                     }
                   });
@@ -319,6 +333,7 @@ CsrMatrix assemble_schur(const CsrMatrix& c_block,
                       index_t dst = s_tilde.row_ptr[i];
                       for (index_t q = s_hat.row_ptr[i]; q < s_hat.row_ptr[i + 1]; ++q) {
                         const index_t j = s_hat.col_idx[q];
+                        if (dst >= s_tilde.row_ptr[i + 1]) break;
                         if (j == i || std::abs(s_hat.values[q]) >= cut[i]) {
                           s_tilde.col_idx[dst] = j;
                           s_tilde.values[dst] = s_hat.values[q];

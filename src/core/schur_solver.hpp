@@ -100,6 +100,7 @@ class SchurSolver {
     std::vector<SubdomainSolveScratch> sub;
     std::vector<value_t> ghat, y;       // separator RHS / solution
     std::vector<value_t> precond;       // LU(S̃) apply scratch
+    std::vector<value_t> resid;         // full-system A·x for the true residual
     GmresWorkspace gmres;
     BicgstabWorkspace bicgstab;
     /// Buffer (re)allocation events (same counting discipline as
@@ -148,6 +149,9 @@ class SchurSolver {
     return facts_;
   }
   [[nodiscard]] const CsrMatrix& schur_tilde() const { return s_tilde_; }
+  /// Separator block C of Eq. (1) (separator-local numbering) — const view
+  /// for the differential checkers (src/check/invariants.hpp).
+  [[nodiscard]] const CsrMatrix& separator_block() const { return c_block_; }
   [[nodiscard]] const SolverOptions& options() const { return opt_; }
   [[nodiscard]] bool factored() const { return factor_done_; }
 

@@ -74,7 +74,11 @@ class GpDfs {
 
 LuFactors lu_factorize(const CscMatrix& a, const LuOptions& opt) {
   PDSLIN_CHECK_MSG(a.rows == a.cols, "LU requires a square matrix");
-  PDSLIN_CHECK_MSG(a.has_values(), "LU requires numeric values");
+  // An all-zero (or 0×0) matrix carries no values array; it is either the
+  // trivial empty factorization (n == 0) or structurally singular, which the
+  // pivot check below reports as such — don't reject it as pattern-only.
+  PDSLIN_CHECK_MSG(a.has_values() || a.row_idx.empty(),
+                   "LU requires numeric values");
   const index_t n = a.rows;
 
   // Factor columns held with ORIGINAL row indices during factorization;
