@@ -1,9 +1,23 @@
 // Google-benchmark microbenchmarks of the library's kernels, plus ablations
 // of the design choices DESIGN.md §5 calls out (net splitting vs discarding,
 // matching strategies, dynamic-weight overhead).
+//
+// Before the google-benchmark suite runs, main() executes the scalar-vs-
+// supernodal LU factorization ablation: both kernels factorize the same
+// ordered matrices, the factors are cross-checked (bitwise by contract,
+// plus a matvec probe of ‖LU − PA‖), and one "BENCH {json}" line per
+// (matrix, kernel) is printed. A factor mismatch hard-fails the binary.
+//   --lu-kernel=scalar|panel   restrict which kernel's BENCH lines are
+//                              emitted (both factors are always built for
+//                              the cross-check); default emits both.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <numeric>
+#include <string>
+#include <vector>
 
 #include "core/rhb.hpp"
 #include "core/structural_factor.hpp"
@@ -20,11 +34,14 @@
 #include "hypergraph/bisect.hpp"
 #include "hypergraph/coarsen.hpp"
 #include "hypergraph/recursive.hpp"
+#include "obs/report.hpp"
 #include "sparse/convert.hpp"
+#include "sparse/ops.hpp"
 #include "sparse/permute.hpp"
 #include "sparse/spgemm.hpp"
 #include "sparse/symmetrize.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -77,15 +94,25 @@ void BM_MinimumDegree(benchmark::State& state) {
 }
 BENCHMARK(BM_MinimumDegree)->Arg(48)->Arg(96);
 
+// range(0) = grid side, range(1) = kernel (0 scalar, 1 panel), range(2) =
+// panel threads.
 void BM_LuFactorize(benchmark::State& state) {
   const CsrMatrix a = bench_matrix(static_cast<index_t>(state.range(0)));
   const auto perm = minimum_degree_ordering(symmetrize_abs(pattern_of(a)));
   const CsrMatrix ordered = permute_symmetric(a, perm);
+  LuOptions opt;
+  opt.kernel = state.range(1) == 0 ? LuKernel::Scalar : LuKernel::Panel;
+  opt.threads = static_cast<unsigned>(state.range(2));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(lu_factorize(ordered));
+    benchmark::DoNotOptimize(lu_factorize(ordered, opt));
   }
 }
-BENCHMARK(BM_LuFactorize)->Arg(48)->Arg(96);
+BENCHMARK(BM_LuFactorize)
+    ->Args({48, 0, 1})
+    ->Args({48, 1, 1})
+    ->Args({96, 0, 1})
+    ->Args({96, 1, 1})
+    ->Args({96, 1, 4});
 
 void BM_MultiRhsSolve(benchmark::State& state) {
   const CsrMatrix a = bench_matrix(64);
@@ -226,6 +253,162 @@ void BM_CliqueCover(benchmark::State& state) {
 }
 BENCHMARK(BM_CliqueCover)->Arg(64)->Arg(128);
 
+// ---------------------------------------------------------------------------
+// Scalar vs supernodal LU ablation (ISSUE 6): correctness gate + BENCH lines.
+
+/// y = M·x for a CSC factor (values required).
+std::vector<value_t> csc_matvec(const CscMatrix& m,
+                                const std::vector<value_t>& x) {
+  std::vector<value_t> y(m.rows, 0.0);
+  for (index_t j = 0; j < m.cols; ++j) {
+    const value_t xj = x[j];
+    if (xj == 0.0) continue;
+    for (index_t p = m.col_ptr[j]; p < m.col_ptr[j + 1]; ++p) {
+      y[m.row_idx[p]] += m.values[p] * xj;
+    }
+  }
+  return y;
+}
+
+/// Matvec probe of ‖L·U − P·A‖: max over random x of ‖L·U·x − P·(A·x)‖_∞,
+/// scaled by ‖A‖_max·‖x‖_∞·n. Avoids the dense oracle so it runs at bench
+/// sizes.
+double lu_residual_probe(const CsrMatrix& a, const LuFactors& f, Rng& rng) {
+  double amax = 0.0;
+  for (const value_t v : a.values) amax = std::max(amax, std::abs(v));
+  if (amax == 0.0) amax = 1.0;
+  double worst = 0.0;
+  std::vector<value_t> x(a.cols), ax(a.rows);
+  for (int probe = 0; probe < 5; ++probe) {
+    for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+    spmv(a, x, ax);
+    const std::vector<value_t> lux = csc_matvec(f.lower, csc_matvec(f.upper, x));
+    double diff = 0.0;
+    for (index_t i = 0; i < a.rows; ++i) {
+      diff = std::max(diff, std::abs(lux[i] - ax[f.row_perm[i]]));
+    }
+    worst = std::max(worst, diff / (amax * static_cast<double>(a.rows)));
+  }
+  return worst;
+}
+
+bool factors_bitwise_equal(const LuFactors& fa, const LuFactors& fb) {
+  auto csc_equal = [](const CscMatrix& x, const CscMatrix& y) {
+    return x.col_ptr == y.col_ptr && x.row_idx == y.row_idx &&
+           x.values.size() == y.values.size() &&
+           (x.values.empty() ||
+            std::memcmp(x.values.data(), y.values.data(),
+                        x.values.size() * sizeof(value_t)) == 0);
+  };
+  return fa.row_perm == fb.row_perm && csc_equal(fa.lower, fb.lower) &&
+         csc_equal(fa.upper, fb.upper);
+}
+
+/// Returns false (after printing the defect) when the kernels disagree.
+bool run_lu_ablation(const std::string& kernel_filter) {
+  constexpr double kResidualTol = 1e-10;
+  const index_t sides[] = {64, 128};
+  bool ok = true;
+  for (const index_t side : sides) {
+    const CsrMatrix a = bench_matrix(side);
+    const auto perm = minimum_degree_ordering(symmetrize_abs(pattern_of(a)));
+    const CsrMatrix ordered = permute_symmetric(a, perm);
+
+    LuOptions sopt;
+    sopt.kernel = LuKernel::Scalar;
+    LuOptions popt;
+    popt.kernel = LuKernel::Panel;
+    popt.threads = 4;
+
+    WallTimer ts;
+    const LuFactors fs = lu_factorize(ordered, sopt);
+    const double scalar_seconds = ts.seconds();
+    WallTimer tp;
+    const LuFactors fp = lu_factorize(ordered, popt);
+    const double panel_seconds = tp.seconds();
+
+    Rng rng(1234 + side);
+    const double res_scalar = lu_residual_probe(ordered, fs, rng);
+    const double res_panel = lu_residual_probe(ordered, fp, rng);
+    const bool bitwise = factors_bitwise_equal(fs, fp);
+    if (!bitwise) {
+      std::printf("LU ABLATION FAIL grid%d: panel factors differ bitwise "
+                  "from scalar (contract violation)\n", side);
+      ok = false;
+    }
+    if (res_scalar > kResidualTol || res_panel > kResidualTol) {
+      std::printf("LU ABLATION FAIL grid%d: ‖LU−PA‖ probe %g (scalar) / %g "
+                  "(panel) exceeds %g\n",
+                  side, res_scalar, res_panel, kResidualTol);
+      ok = false;
+    }
+
+    struct Line {
+      const char* kernel;
+      double seconds;
+      double residual;
+      const LuFactors* f;
+      unsigned threads;
+    } lines[] = {{"scalar", scalar_seconds, res_scalar, &fs, 1u},
+                 {"panel", panel_seconds, res_panel, &fp, popt.threads}};
+    for (const Line& ln : lines) {
+      if (kernel_filter != "both" && kernel_filter != ln.kernel) continue;
+      obs::RunReport rep;
+      rep.tool = "bench/kernels";
+      rep.matrix = "grid-fem-" + std::to_string(side);
+      rep.n = ordered.rows;
+      rep.nnz = ordered.nnz();
+      rep.set_config("ablation", "lu_factorize");
+      rep.set_config("lu_kernel", ln.kernel);
+      rep.set_config("threads", std::to_string(ln.threads));
+      rep.set_phase("factor", ln.seconds);
+      rep.set_stat("factor_nnz", static_cast<double>(ln.f->lower.nnz() +
+                                                     ln.f->upper.nnz()));
+      rep.set_stat("lu_residual_probe", ln.residual);
+      rep.set_stat("factors_bitwise_equal", bitwise ? 1.0 : 0.0);
+      rep.set_stat("speedup_vs_scalar", scalar_seconds / std::max(ln.seconds,
+                                                                  1e-12));
+      rep.set_stat("panel_count", static_cast<double>(ln.f->stats.panel_count));
+      rep.set_stat("panel_avg_width", ln.f->stats.avg_width);
+      rep.set_stat("panel_max_width", static_cast<double>(ln.f->stats.max_width));
+      rep.set_stat("panel_wide_col_fraction", ln.f->stats.wide_col_fraction);
+      rep.set_stat("panel_gemm_fraction",
+                   ln.f->stats.total_flops > 0
+                       ? static_cast<double>(ln.f->stats.gemm_flops) /
+                             static_cast<double>(ln.f->stats.total_flops)
+                       : 0.0);
+      std::printf("BENCH %s\n", rep.to_json_line().c_str());
+    }
+  }
+  return ok;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off our ablation flag; everything else goes to google-benchmark.
+  std::string kernel_filter = "both";
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--lu-kernel=", 12) == 0) {
+      kernel_filter = argv[i] + 12;
+      if (kernel_filter != "scalar" && kernel_filter != "panel") {
+        std::fprintf(stderr, "kernels: --lu-kernel must be scalar|panel\n");
+        return 2;
+      }
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!run_lu_ablation(kernel_filter)) return 1;
+
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data())) {
+    return 2;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

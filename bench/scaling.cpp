@@ -5,10 +5,16 @@
 // outer × inner thread layouts (the paper's np = k × (np/k) processor
 // groups, §V).
 //
+// Also runs the LU setup-kernel ablation: scalar vs supernodal panel
+// factorization on Table I families (matrix211, ASIC_680ks) with the panel
+// pipeline's worker dial at 4, recorded as BENCH lines with the panel
+// statistics — the ISSUE 6 ≥3× setup-speedup evidence.
+//
 // The solver output must be bitwise identical at every thread count; the
 // driver hard-fails otherwise. Emits one JSON line (prefix "JSON ") for the
 // bench trajectory. Speedups reflect the host: on a single-core container
-// every configuration degrades to serial execution and reports ~1×.
+// every thread configuration degrades to serial execution and reports ~1×
+// (the kernel ablation's speedup is algorithmic, not thread-parallel).
 //
 // Environment: PDSLIN_BENCH_SCALE, PDSLIN_BENCH_SEED (see bench_common.hpp),
 // PDSLIN_BENCH_MATRIX (suite name, default tdr190k).
@@ -21,11 +27,15 @@
 #include "core/dbbd.hpp"
 #include "core/schur_assembly.hpp"
 #include "core/subdomain.hpp"
+#include "direct/lu.hpp"
+#include "direct/mindeg.hpp"
 #include "graph/graph.hpp"
 #include "graph/nested_dissection.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sparse/convert.hpp"
+#include "sparse/permute.hpp"
 #include "sparse/symmetrize.hpp"
+#include "util/timer.hpp"
 
 using namespace pdslin;
 
@@ -40,6 +50,79 @@ struct PhaseRun {
   double solve_gemm_seconds = 0.0;   // Σ_ℓ wall of (G solve + W solve + T̃ GEMM)
   std::vector<CsrMatrix> t_tilde;    // per-subdomain output, for the bitwise check
 };
+
+bool same_factors(const LuFactors& a, const LuFactors& b) {
+  auto csc_equal = [](const CscMatrix& x, const CscMatrix& y) {
+    return x.col_ptr == y.col_ptr && x.row_idx == y.row_idx &&
+           x.values == y.values;
+  };
+  return a.row_perm == b.row_perm && csc_equal(a.lower, b.lower) &&
+         csc_equal(a.upper, b.upper);
+}
+
+/// Setup-kernel ablation (ISSUE 6 acceptance): scalar vs supernodal panel
+/// factorization on Table I families, panel running with the two-level
+/// inner worker dial at 4. Emits one BENCH line per (family, kernel) with
+/// the panel statistics; returns false when the factors disagree bitwise.
+bool run_lu_kernel_ablation(std::uint64_t seed) {
+  const double scale = bench::bench_scale(0.3);
+  const char* families[] = {"matrix211", "ASIC_680ks"};
+  bool ok = true;
+  std::printf("\n%-12s | %-10s | %-12s | %s\n", "family", "kernel",
+              "factor t[s]", "speedup vs scalar");
+  for (const char* fam : families) {
+    const GeneratedProblem p = make_suite_matrix(fam, scale, seed);
+    const auto perm = minimum_degree_ordering(symmetrize_abs(pattern_of(p.a)));
+    const CsrMatrix ordered = permute_symmetric(p.a, perm);
+
+    double seconds[2] = {0.0, 0.0};
+    LuFactors factors[2];
+    const LuKernel kernels[2] = {LuKernel::Scalar, LuKernel::Panel};
+    for (int ki = 0; ki < 2; ++ki) {
+      LuOptions lopt;
+      lopt.kernel = kernels[ki];
+      lopt.threads = ki == 1 ? 4 : 1;
+      double best = 1e30;
+      for (int rep = 0; rep < 2; ++rep) {
+        WallTimer t;
+        factors[ki] = lu_factorize(ordered, lopt);
+        best = std::min(best, t.seconds());
+      }
+      seconds[ki] = best;
+    }
+    const bool bitwise = same_factors(factors[0], factors[1]);
+    ok = ok && bitwise;
+    for (int ki = 0; ki < 2; ++ki) {
+      const char* kname = ki == 0 ? "scalar" : "panel";
+      std::printf("%-12s | %-10s | %12.4f | %16.2fx%s\n", fam, kname,
+                  seconds[ki], seconds[0] / seconds[ki],
+                  !bitwise && ki == 1 ? "  FACTORS DIFFER — BUG" : "");
+      obs::RunReport rep;
+      rep.tool = "bench/scaling";
+      rep.matrix = p.name;
+      rep.n = p.a.rows;
+      rep.nnz = p.a.nnz();
+      rep.set_config("ablation", "lu_setup_kernel");
+      rep.set_config("lu_kernel", kname);
+      rep.set_config("inner_threads", ki == 1 ? "4" : "1");
+      rep.set_phase("factor", seconds[ki]);
+      rep.set_stat("setup_speedup_vs_scalar", seconds[0] / seconds[ki]);
+      rep.set_stat("factors_bitwise_equal", bitwise ? 1.0 : 0.0);
+      const LuPanelStats& st = factors[ki].stats;
+      rep.set_stat("panel_count", static_cast<double>(st.panel_count));
+      rep.set_stat("panel_avg_width", st.avg_width);
+      rep.set_stat("panel_max_width", static_cast<double>(st.max_width));
+      rep.set_stat("panel_wide_col_fraction", st.wide_col_fraction);
+      rep.set_stat("panel_gemm_fraction",
+                   st.total_flops > 0
+                       ? static_cast<double>(st.gemm_flops) /
+                             static_cast<double>(st.total_flops)
+                       : 0.0);
+      bench::emit_bench_report(rep);
+    }
+  }
+  return ok;
+}
 
 PhaseRun run_phase(const std::vector<Subdomain>& subs, unsigned inner_threads) {
   SchurAssemblyOptions opt;
@@ -146,6 +229,10 @@ int main() {
     rep.set_config("layout", label);
     bench::emit_bench_report(rep);
   }
+
+  // --- LU setup kernel ablation over Table I families. ---
+  const bool lu_identical = run_lu_kernel_ablation(seed);
+  identical = identical && lu_identical;
 
   std::printf("\nJSON {\"bench\":\"scaling\",\"matrix\":\"%s\",\"n\":%d,"
               "\"pool_threads\":%u,\"phase_seconds\":{",

@@ -31,7 +31,8 @@ std::string artifact_to_json(const CaseSpec& spec, const CheckReport* report) {
      << "\",\n"
      << "    \"exact_assembly\": " << (spec.exact_assembly ? "true" : "false")
      << ",\n"
-     << "    \"serve\": " << (spec.serve ? "true" : "false") << "\n"
+     << "    \"serve\": " << (spec.serve ? "true" : "false") << ",\n"
+     << "    \"lu_kernel\": \"" << to_string(spec.lu_kernel) << "\"\n"
      << "  }";
   if (report != nullptr && !report->ok()) {
     os << ",\n  \"violations\": [\n";
@@ -84,6 +85,13 @@ CaseSpec artifact_from_json(std::string_view text) {
       kry.str == "bicgstab" ? KrylovMethod::Bicgstab : KrylovMethod::Gmres;
   spec.exact_assembly = s.at("exact_assembly").boolean;
   spec.serve = s.at("serve").boolean;
+  // Optional for corpus files written before the LU-kernel axis existed;
+  // those ran the (then-only) kernel config, which Panel reproduces bitwise.
+  if (const obsjson::Value* lk = s.find("lu_kernel")) {
+    PDSLIN_CHECK_MSG(lk->is_string() &&
+                         lu_kernel_from_string(lk->str, spec.lu_kernel),
+                     "unknown lu_kernel in artifact");
+  }
 
   PDSLIN_CHECK_MSG(spec.n >= 8 && spec.n <= 4096, "artifact n out of range");
   PDSLIN_CHECK_MSG(spec.num_subdomains >= 1 &&

@@ -98,13 +98,44 @@ bool family_from_string(std::string_view name, Family& out) {
   return false;
 }
 
+namespace {
+
+constexpr struct {
+  LuKernelAxis k;
+  const char* name;
+} kLuKernels[] = {
+    {LuKernelAxis::Scalar, "lu-scalar"},
+    {LuKernelAxis::Panel, "lu-panel"},
+    {LuKernelAxis::PanelFp32, "lu-fp32"},
+};
+
+}  // namespace
+
+const char* to_string(LuKernelAxis k) {
+  for (const auto& e : kLuKernels) {
+    if (e.k == k) return e.name;
+  }
+  return "?";
+}
+
+bool lu_kernel_from_string(std::string_view name, LuKernelAxis& out) {
+  for (const auto& e : kLuKernels) {
+    if (name == e.name) {
+      out = e.k;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::string CaseSpec::to_string() const {
   std::ostringstream os;
   os << check::to_string(family) << "/n" << n << "/seed" << seed << "/"
      << pdslin::to_string(partitioning) << "/k" << num_subdomains << "/t"
      << threads << "x" << inner_threads << "/nrhs" << nrhs << "/"
      << (krylov == KrylovMethod::Gmres ? "gmres" : "bicgstab") << "/"
-     << (exact_assembly ? "exact" : "dropped") << (serve ? "/serve" : "");
+     << (exact_assembly ? "exact" : "dropped") << "/"
+     << check::to_string(lu_kernel) << (serve ? "/serve" : "");
   return os.str();
 }
 
@@ -277,7 +308,9 @@ CaseSpec sample_case(std::uint64_t base_seed, int i) {
 
   // Config axes: cycle the full matrix so coverage is guaranteed, not
   // merely probable. Bit layout of i: partitioner, threads, nrhs, serve,
-  // krylov, exact/dropped → period 64.
+  // krylov, exact/dropped (period 64), and the 3-way LU kernel cycles on
+  // i mod 3 — coprime with 64, so the joint period is 192 and every
+  // (config, kernel) pair is hit.
   const unsigned c = static_cast<unsigned>(i);
   spec.partitioning =
       (c & 1u) ? PartitionMethod::RHB : PartitionMethod::NGD;
@@ -287,6 +320,7 @@ CaseSpec sample_case(std::uint64_t base_seed, int i) {
   spec.serve = (c & 8u) != 0;
   spec.krylov = (c & 16u) ? KrylovMethod::Bicgstab : KrylovMethod::Gmres;
   spec.exact_assembly = (c & 32u) == 0;
+  spec.lu_kernel = static_cast<LuKernelAxis>(c % 3u);
   return spec;
 }
 
@@ -298,6 +332,18 @@ SolverOptions solver_options_for(const CaseSpec& spec) {
   opt.assembly.inner_threads = spec.inner_threads;
   opt.krylov = spec.krylov;
   opt.seed = spec.seed;
+  switch (spec.lu_kernel) {
+    case LuKernelAxis::Scalar:
+      opt.assembly.lu.kernel = LuKernel::Scalar;
+      break;
+    case LuKernelAxis::Panel:
+      opt.assembly.lu.kernel = LuKernel::Panel;
+      break;
+    case LuKernelAxis::PanelFp32:
+      opt.assembly.lu.kernel = LuKernel::Panel;
+      opt.assembly.lu.panel_fp32 = true;
+      break;
+  }
   if (spec.exact_assembly) {
     opt.assembly.drop_wg = 0.0;
     opt.assembly.drop_s = 0.0;

@@ -37,6 +37,18 @@ const char* to_string(Family f);
 /// Parse the to_string() name; returns false on unknown names.
 bool family_from_string(std::string_view name, Family& out);
 
+/// LU factorization kernel axis. Scalar and Panel must agree bitwise (the
+/// differential runner enforces it); PanelFp32 changes factor bits, so the
+/// Schur/factor tolerances are loosened to fp32 roundoff for that lane.
+enum class LuKernelAxis {
+  Scalar,     // reference Gilbert–Peierls column kernel
+  Panel,      // supernodal blocked kernel (bitwise == Scalar by contract)
+  PanelFp32,  // panel kernel with fp32 panel arithmetic
+};
+
+const char* to_string(LuKernelAxis k);
+bool lu_kernel_from_string(std::string_view name, LuKernelAxis& out);
+
 /// One fuzz case: problem descriptor + pipeline configuration.
 struct CaseSpec {
   Family family = Family::RandomDiagDom;
@@ -56,6 +68,8 @@ struct CaseSpec {
   /// Route the solve through a SolveService (cold, then cached, bitwise
   /// compared) instead of calling the solver directly.
   bool serve = false;
+  /// Which subdomain LU kernel factorizes the interior blocks.
+  LuKernelAxis lu_kernel = LuKernelAxis::Panel;
 
   /// Short id, e.g. "random-diag-dom/n64/seed7/RHB/k4/t3/nrhs2/exact".
   [[nodiscard]] std::string to_string() const;

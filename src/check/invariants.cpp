@@ -336,7 +336,7 @@ void check_schur_consistency(const SchurSolver& solver,
 void check_solver(const SchurSolver& solver, const SchurCheckOptions& schur,
                   CheckReport& rep) {
   check_partition(solver.matrix(), solver.partition(), rep);
-  check_subdomain_factors(solver, 1e-8, rep);
+  check_subdomain_factors(solver, schur.factor_rel_tol, rep);
   check_schur_consistency(solver, schur, rep);
 }
 

@@ -68,10 +68,18 @@ bool ngd_partitioner(CaseSpec& s) {
   s.partitioning = PartitionMethod::NGD;
   return true;
 }
+/// Step the LU kernel down one rung (fp32 → panel → scalar): a failure
+/// that survives on Scalar is not the panel kernel's fault.
+bool simpler_lu_kernel(CaseSpec& s) {
+  if (s.lu_kernel == LuKernelAxis::Scalar) return false;
+  s.lu_kernel = s.lu_kernel == LuKernelAxis::PanelFp32 ? LuKernelAxis::Panel
+                                                       : LuKernelAxis::Scalar;
+  return true;
+}
 
 constexpr Candidate kLadder[] = {
     halve_n, halve_subdomains, single_rhs, no_serve,       serial,
-    gmres_only, sparsify,      shave_n,    ngd_partitioner,
+    gmres_only, sparsify,      shave_n,    ngd_partitioner, simpler_lu_kernel,
 };
 
 }  // namespace

@@ -176,7 +176,13 @@ SubdomainFactorization assemble_subdomain(const Subdomain& sub,
   timer.reset();
   {
     PDSLIN_SPAN("lu_d.factor");
-    f.lu = lu_factorize(d_ord, opt.lu);
+    // The panel kernel's pipeline inherits this subdomain's worker budget
+    // (the inner level of the paper's np = k × (np/k) layout) unless the
+    // caller dialed LuOptions::threads explicitly. Bitwise identical for
+    // any thread count, so this never perturbs results.
+    LuOptions lopt = opt.lu;
+    if (lopt.threads <= 1) lopt.threads = std::max(1u, opt.inner_threads);
+    f.lu = lu_factorize(d_ord, lopt);
   }
   f.factor_seconds = timer.seconds();
   f.lu_nnz = f.lu.fill_nnz();

@@ -25,11 +25,6 @@ std::size_t csr_bytes(const CsrMatrix& m) {
          m.col_idx.size() * sizeof(index_t) + m.values.size() * sizeof(value_t);
 }
 
-std::size_t csc_bytes(const CscMatrix& m) {
-  return m.col_ptr.size() * sizeof(index_t) +
-         m.row_idx.size() * sizeof(index_t) + m.values.size() * sizeof(value_t);
-}
-
 std::size_t index_bytes(const std::vector<index_t>& v) {
   return v.size() * sizeof(index_t);
 }
@@ -252,8 +247,7 @@ std::size_t SchurSolver::memory_bytes() const {
              index_bytes(sub.f_rows);
   }
   for (const SubdomainFactorization& f : facts_) {
-    bytes += csc_bytes(f.lu.lower) + csc_bytes(f.lu.upper) +
-             index_bytes(f.lu.row_perm);
+    bytes += f.lu.memory_bytes();  // factors + panel metadata
     bytes += index_bytes(f.colmap) + index_bytes(f.rowmap);
     bytes += csr_bytes(f.t_tilde);
   }

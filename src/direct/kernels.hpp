@@ -1,0 +1,64 @@
+// Dense microkernels for the supernodal panel LU (direct/panel_lu).
+//
+// A panel is stored column-major: nr rows × w columns, where local rows
+// [0, tri0) are the panel's U-part (global rows above the first column),
+// [tri0, tri0 + w) the diagonal triangle (exactly the panel's own columns),
+// and [tri0 + w, nr) the below-diagonal block shared by all columns.
+//
+// Bitwise contract: the scalar Gilbert–Peierls kernel applies, to every
+// factor element, its update terms `x -= l·u` in ascending pivot order with
+// plain (non-fused) multiply-subtract expressions. Every kernel here
+// preserves exactly that per-element order and expression shape — the outer
+// loop of trsm/gemm walks pivots ascending and the inner loops touch
+// distinct elements — so the packed path reproduces the scalar
+// factorization bit for bit. Terms whose coefficient is an exact 0.0
+// (structural padding from relaxed amalgamation) are skipped: subtracting
+// ±0.0 can only flip the sign of a zero, and zeros are dropped identically
+// at extraction.
+#pragma once
+
+#include "sparse/types.hpp"
+
+namespace pdslin::panel {
+
+/// Y ← L_dd⁻¹ Y for the unit lower triangle of a panel. `tri` points at the
+/// panel storage (nr × w, column-major, triangle at local rows
+/// [tri0, tri0 + w)); y is w × ncol row-major.
+template <typename T>
+void trsm_unit_lower(const T* tri, index_t nr, index_t tri0, index_t w,
+                     T* y, index_t ncol);
+
+/// C ← C − L·Y: L is ni × w with column k at lblk + k·lda (the below-diagonal
+/// block of a panel), Y is w × ncol row-major, C is ni × ncol column-major.
+/// k (pivot) is the outer loop; the ni-inner loop is contiguous.
+template <typename T>
+void gemm_minus(const T* lblk, index_t lda, index_t ni, index_t w,
+                const T* y, index_t ncol, T* c);
+
+/// In-place left-looking factorization of one panel with threshold partial
+/// pivoting confined to the diagonal: each column keeps its diagonal pivot
+/// iff |diag| ≥ pivot_tol·max|below| and |diag| > min_pivot (the scalar
+/// kernel's exact rule). Returns -1 on success, else the in-panel column
+/// index that failed; *singular tells a vanishing column (max ≤ min_pivot)
+/// apart from a pivot deviation. Either failure aborts the panel path.
+template <typename T>
+index_t factorize_panel(T* pan, index_t nr, index_t tri0, index_t w,
+                        double pivot_tol, double min_pivot, bool* singular);
+
+/// Gather a block out of a panel through precomputed local positions:
+/// out(i, q) = pan[jloc[q]·nr + pos[i]], with pos[i] < 0 (slots structurally
+/// absent from the target, hence exactly zero) reading as 0.0.
+/// row_major → out[i·ncol + q] (TRSM operand), else out[q·nrows + i]
+/// (GEMM accumulator, contiguous in i).
+template <typename T>
+void gather_block(const T* pan, index_t nr, const index_t* pos, index_t nrows,
+                  const index_t* jloc, index_t ncol, bool row_major, T* out);
+
+/// Scatter-assign the block back; pos[i] < 0 slots are dropped (their value
+/// is an exact ±0.0 with no slot to land in).
+template <typename T>
+void scatter_block(const T* block, index_t nrows, index_t ncol, bool row_major,
+                   const index_t* pos, const index_t* jloc, T* pan,
+                   index_t nr);
+
+}  // namespace pdslin::panel

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "direct/panel_lu.hpp"
+#include "obs/metrics.hpp"
 #include "sparse/convert.hpp"
 #include "util/error.hpp"
 
@@ -70,15 +72,9 @@ class GpDfs {
   std::vector<index_t> out_;
 };
 
-}  // namespace
-
-LuFactors lu_factorize(const CscMatrix& a, const LuOptions& opt) {
-  PDSLIN_CHECK_MSG(a.rows == a.cols, "LU requires a square matrix");
-  // An all-zero (or 0×0) matrix carries no values array; it is either the
-  // trivial empty factorization (n == 0) or structurally singular, which the
-  // pivot check below reports as such — don't reject it as pattern-only.
-  PDSLIN_CHECK_MSG(a.has_values() || a.row_idx.empty(),
-                   "LU requires numeric values");
+// The scalar Gilbert–Peierls kernel — also the fallback that defines the
+// exact result (and error behavior) the panel kernel must reproduce.
+LuFactors scalar_lu_factorize(const CscMatrix& a, const LuOptions& opt) {
   const index_t n = a.rows;
 
   // Factor columns held with ORIGINAL row indices during factorization;
@@ -101,6 +97,16 @@ LuFactors lu_factorize(const CscMatrix& a, const LuOptions& opt) {
       dfs.run(a.row_idx[p], pinv, l_rows);
     }
     std::vector<index_t>& topo = dfs.finish();
+    // Canonical ascending-pivot update order. Any topological order is a
+    // valid left-looking schedule; fixing the one the panel kernel uses
+    // makes the two kernels' per-element operation sequences — and hence
+    // the factors — bitwise identical. Unpivoted rows are pure sinks and
+    // sort after, by row (which also fixes the pivot-scan tie-break).
+    std::sort(topo.begin(), topo.end(), [&](index_t ra, index_t rb) {
+      const index_t ka = pinv[ra], kb = pinv[rb];
+      if ((ka >= 0) != (kb >= 0)) return ka >= 0;
+      return (ka >= 0 ? ka : ra) < (kb >= 0 ? kb : rb);
+    });
 
     // --- Numeric: x = L⁻¹ A(:, j) on the reach pattern. ---
     for (index_t r : topo) x[r] = 0.0;
@@ -215,6 +221,26 @@ LuFactors lu_factorize(const CscMatrix& a, const LuOptions& opt) {
     }
   }
   return f;
+}
+
+}  // namespace
+
+LuFactors lu_factorize(const CscMatrix& a, const LuOptions& opt) {
+  PDSLIN_CHECK_MSG(a.rows == a.cols, "LU requires a square matrix");
+  // An all-zero (or 0×0) matrix carries no values array; it is either the
+  // trivial empty factorization (n == 0) or structurally singular, which the
+  // pivot check below reports as such — don't reject it as pattern-only.
+  PDSLIN_CHECK_MSG(a.has_values() || a.row_idx.empty(),
+                   "LU requires numeric values");
+  if (opt.kernel == LuKernel::Panel) {
+    if (auto f = panel_lu_factorize(a, opt)) return std::move(*f);
+    // Threshold pivoting left the diagonal (or hit a singular column):
+    // refactorize with the scalar kernel, which produces the identical
+    // result — including the identical singularity error — that the panel
+    // path could not.
+    obs::counter("lu.panel.fallbacks").add(1);
+  }
+  return scalar_lu_factorize(a, opt);
 }
 
 LuFactors lu_factorize(const CsrMatrix& a, const LuOptions& opt) {

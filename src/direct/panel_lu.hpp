@@ -1,0 +1,30 @@
+// Supernodal blocked LU — the panel kernel behind lu_factorize (see
+// direct/lu.hpp for the kernel contract and direct/kernels.hpp for the
+// microkernel bitwise-order contract).
+//
+// Symbolic phase: symmetrize the pattern, take the symbolic Cholesky factor
+// (a structural superset of the diagonal-pivoted LU fill, George/Ng), carve
+// it into panels by relaxed amalgamation of e-tree chains, and record for
+// every panel its dense row list plus the supernode→supernode update edges.
+// Numeric phase: panels are factored left-looking over the supernodal
+// elimination forest — gather/TRSM/scatter for the U-part rows of each
+// update, gather/GEMM/scatter for the below-diagonal block, then an
+// in-panel dense factorization with threshold pivoting confined to the
+// diagonal. Scheduling is pipelined (parallel/pipeline.hpp) when
+// opt.threads > 1; results are bitwise identical for any thread count.
+#pragma once
+
+#include <optional>
+
+#include "direct/lu.hpp"
+
+namespace pdslin {
+
+/// Attempt the supernodal factorization. Returns std::nullopt when
+/// threshold pivoting rejects a diagonal pivot or a column is numerically
+/// singular — the caller reruns the scalar kernel, which reproduces the
+/// exact scalar result (including the scalar kernel's singularity error).
+std::optional<LuFactors> panel_lu_factorize(const CscMatrix& a,
+                                            const LuOptions& opt);
+
+}  // namespace pdslin

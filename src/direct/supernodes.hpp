@@ -8,6 +8,7 @@
 // by the kernel ablations.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "sparse/csr.hpp"
@@ -23,11 +24,26 @@ struct Supernodes {
   [[nodiscard]] index_t width(index_t s) const { return start[s + 1] - start[s]; }
   /// Column → supernode id.
   std::vector<index_t> of_column;
-  /// Average panel width (1.0 = no supernodal structure at all).
+  /// Average panel width (1.0 = no supernodal structure at all). An empty
+  /// factor reports 1.0, never 0.0 — callers divide by this.
   [[nodiscard]] double average_width() const {
-    return count() == 0 ? 0.0
+    return count() <= 0 ? 1.0
                         : static_cast<double>(of_column.size()) /
                               static_cast<double>(count());
+  }
+  [[nodiscard]] index_t max_width() const {
+    index_t w = 0;
+    for (index_t s = 0; s < count(); ++s) w = std::max(w, width(s));
+    return w;
+  }
+  /// Fraction of columns living in panels of width ≥ min_width.
+  [[nodiscard]] double wide_column_fraction(index_t min_width) const {
+    if (of_column.empty()) return 0.0;
+    index_t wide = 0;
+    for (index_t s = 0; s < count(); ++s) {
+      if (width(s) >= min_width) wide += width(s);
+    }
+    return static_cast<double>(wide) / static_cast<double>(of_column.size());
   }
 };
 
@@ -40,5 +56,15 @@ Supernodes fundamental_supernodes(const CsrMatrix& a, index_t max_width = 0);
 /// Supernodes detected directly on an explicit lower-triangular factor
 /// (CSC, diagonal first): exact structural comparison of adjacent columns.
 Supernodes supernodes_of_factor(const CscMatrix& l, index_t max_width = 0);
+
+/// Relaxed amalgamation on a symbolic Cholesky factor given by its
+/// elimination tree and column counts: column j joins column j−1's panel iff
+/// parent(j−1) == j (so the panel stays an e-tree chain), the width stays
+/// under `max_width` (0 = unlimited), and the structural zeros the merge
+/// introduces into the dense lower panel stay within `relax` × (true factor
+/// entries of the panel). relax == 0 reproduces fundamental supernodes.
+Supernodes relaxed_supernodes(const std::vector<index_t>& parent,
+                              const std::vector<index_t>& col_counts,
+                              index_t max_width, double relax);
 
 }  // namespace pdslin

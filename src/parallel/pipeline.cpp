@@ -1,0 +1,80 @@
+#include "parallel/pipeline.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+
+#include "util/error.hpp"
+
+namespace pdslin {
+
+void run_tree_pipeline(ThreadPool& pool, const std::vector<index_t>& parent,
+                       unsigned workers,
+                       const std::function<void(unsigned, index_t)>& body) {
+  const index_t n = static_cast<index_t>(parent.size());
+  if (n == 0) return;
+  for (index_t i = 0; i < n; ++i) {
+    PDSLIN_CHECK_MSG(parent[i] == -1 || (parent[i] > i && parent[i] < n),
+                     "pipeline parent array is not a forest");
+  }
+
+  if (workers <= 1 || n == 1) {
+    // Ascending node order is a valid bottom-up schedule: parent > child.
+    for (index_t i = 0; i < n; ++i) body(0, i);
+    return;
+  }
+
+  std::vector<index_t> pending(n, 0);  // unfinished children; guarded by m
+  for (index_t i = 0; i < n; ++i) {
+    if (parent[i] >= 0) ++pending[parent[i]];
+  }
+
+  std::mutex m;
+  std::condition_variable cv;
+  std::deque<index_t> ready;
+  for (index_t i = 0; i < n; ++i) {
+    if (pending[i] == 0) ready.push_back(i);  // leaves, ascending
+  }
+  index_t remaining = n;
+  bool failed = false;
+  std::exception_ptr error;
+
+  const unsigned nw = std::min<unsigned>(workers, static_cast<unsigned>(n));
+  TaskGroup group(pool);
+  for (unsigned w = 0; w < nw; ++w) {
+    group.run([&, w] {
+      std::unique_lock<std::mutex> lock(m);
+      for (;;) {
+        cv.wait(lock, [&] { return !ready.empty() || remaining == 0 || failed; });
+        if (failed || remaining == 0) return;
+        const index_t node = ready.front();
+        ready.pop_front();
+        lock.unlock();
+        try {
+          body(w, node);
+        } catch (...) {
+          lock.lock();
+          if (!failed) {
+            failed = true;
+            error = std::current_exception();
+          }
+          cv.notify_all();
+          return;
+        }
+        lock.lock();
+        --remaining;
+        const index_t p = parent[node];
+        if (p >= 0 && --pending[p] == 0) {
+          ready.push_back(p);
+          cv.notify_one();
+        }
+        if (remaining == 0) cv.notify_all();
+      }
+    });
+  }
+  group.wait();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace pdslin

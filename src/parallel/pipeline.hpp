@@ -1,0 +1,34 @@
+// Bottom-up tree/forest pipeline on the shared help-first pool.
+//
+// The supernodal factorization's task graph is the supernodal elimination
+// forest: a panel may start as soon as every panel in its subtree has
+// finished (left-looking updates only read descendants). run_tree_pipeline
+// schedules exactly that — nodes enter a ready queue when their last child
+// completes, and `workers` pool tasks drain the queue concurrently, so
+// independent subtrees flow through the pipeline without level barriers.
+//
+// Determinism contract: body(worker, node) must write only node-local state,
+// so results are independent of which worker runs a node and in what order
+// ready nodes are claimed. The queue mutex gives every parent a
+// happens-before edge on all of its children's writes.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "sparse/types.hpp"
+
+namespace pdslin {
+
+/// Run body(worker_index, node) for every node of the forest encoded by
+/// `parent` (parent[i] > i or -1 for roots), a node starting only after all
+/// of its children completed. workers <= 1 runs serially in ascending node
+/// order (a valid schedule, since parents follow children). Exceptions from
+/// body propagate: the first one is rethrown after the remaining workers
+/// drain; unstarted nodes are skipped.
+void run_tree_pipeline(ThreadPool& pool, const std::vector<index_t>& parent,
+                       unsigned workers,
+                       const std::function<void(unsigned, index_t)>& body);
+
+}  // namespace pdslin

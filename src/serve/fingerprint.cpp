@@ -63,6 +63,13 @@ std::uint64_t setup_options_hash(const pdslin::SolverOptions& opt) {
   h = hash_u64(static_cast<std::uint64_t>(opt.assembly.rhs_ordering), h);
   h = hash_double(opt.assembly.lu.pivot_tol, h);
   h = hash_double(opt.assembly.lu.min_pivot, h);
+  // LU kernel knobs that can change the factors' bits. threads is excluded
+  // deliberately: parallel == serial is bitwise, so thread count must not
+  // split the cache.
+  h = hash_u64(static_cast<std::uint64_t>(opt.assembly.lu.kernel), h);
+  h = hash_u64(static_cast<std::uint64_t>(opt.assembly.lu.panel_max_width), h);
+  h = hash_double(opt.assembly.lu.panel_relax, h);
+  h = hash_u64(opt.assembly.lu.panel_fp32 ? 1 : 0, h);
   h = hash_u64(opt.seed, h);
   return h;
 }

@@ -1,0 +1,263 @@
+// Tests for the supernodal panel LU kernel (direct/panel_lu): bitwise
+// equivalence with the scalar Gilbert–Peierls reference, parallel == serial
+// determinism, scalar fallback on pivot deviation and singularity, the
+// relaxed-amalgamation and width-cap knobs, the fp32 rung with iterative
+// refinement, and the serve-layer byte accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "core/schur_solver.hpp"
+#include "direct/lu.hpp"
+#include "direct/mindeg.hpp"
+#include "direct/supernodes.hpp"
+#include "direct/trisolve.hpp"
+#include "sparse/ops.hpp"
+#include "sparse/permute.hpp"
+#include "sparse/symmetrize.hpp"
+#include "test_util.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pdslin {
+namespace {
+
+using testing::to_dense;
+
+void expect_factors_bitwise(const LuFactors& a, const LuFactors& b,
+                            const char* what) {
+  ASSERT_EQ(a.n, b.n) << what;
+  EXPECT_EQ(a.row_perm, b.row_perm) << what;
+  ASSERT_EQ(a.lower.col_ptr, b.lower.col_ptr) << what;
+  ASSERT_EQ(a.lower.row_idx, b.lower.row_idx) << what;
+  ASSERT_EQ(a.upper.col_ptr, b.upper.col_ptr) << what;
+  ASSERT_EQ(a.upper.row_idx, b.upper.row_idx) << what;
+  ASSERT_EQ(a.lower.values.size(), b.lower.values.size()) << what;
+  ASSERT_EQ(a.upper.values.size(), b.upper.values.size()) << what;
+  // memcmp, not ==: bitwise means bitwise (0.0 vs -0.0 must not slip by).
+  EXPECT_EQ(0, std::memcmp(a.lower.values.data(), b.lower.values.data(),
+                           a.lower.values.size() * sizeof(value_t)))
+      << what;
+  EXPECT_EQ(0, std::memcmp(a.upper.values.data(), b.upper.values.data(),
+                           a.upper.values.size() * sizeof(value_t)))
+      << what;
+}
+
+/// ‖L·U − P·A‖_max via the dense oracle.
+double dense_lu_residual(const CsrMatrix& a, const LuFactors& f) {
+  const auto l = to_dense(f.lower);
+  const auto u = to_dense(f.upper);
+  const auto ad = to_dense(a);
+  double worst = 0.0;
+  for (index_t i = 0; i < f.n; ++i) {
+    for (index_t j = 0; j < f.n; ++j) {
+      value_t lu = 0.0;
+      for (index_t k = 0; k < f.n; ++k) lu += l[i][k] * u[k][j];
+      worst = std::max(worst, std::abs(lu - ad[f.row_perm[i]][j]));
+    }
+  }
+  return worst;
+}
+
+CsrMatrix ordered_matrix(const CsrMatrix& a) {
+  const auto perm = minimum_degree_ordering(symmetrize_abs(pattern_of(a)));
+  return permute_symmetric(a, perm);
+}
+
+TEST(PanelLu, BitwiseMatchesScalar) {
+  Rng rng(42);
+  for (const index_t n : {16, 40, 90}) {
+    for (int rep = 0; rep < 3; ++rep) {
+      const CsrMatrix a =
+          ordered_matrix(testing::random_pattern_symmetric(n, 0.12, rng));
+      LuOptions scalar;
+      scalar.kernel = LuKernel::Scalar;
+      LuOptions panel;
+      panel.kernel = LuKernel::Panel;
+      const LuFactors fs = lu_factorize(a, scalar);
+      const LuFactors fp = lu_factorize(a, panel);
+      expect_factors_bitwise(fs, fp, "scalar vs panel");
+      EXPECT_TRUE(fp.stats.used_panel);
+      EXPECT_GT(fp.stats.panel_count, 0);
+    }
+  }
+}
+
+TEST(PanelLu, FactorsSatisfyResidual) {
+  const CsrMatrix a = ordered_matrix(testing::grid_laplacian(8, 8));
+  LuOptions panel;
+  panel.kernel = LuKernel::Panel;
+  const LuFactors f = lu_factorize(a, panel);
+  EXPECT_TRUE(f.stats.used_panel);
+  EXPECT_LT(dense_lu_residual(a, f), 1e-10);
+}
+
+TEST(PanelLu, ParallelBitwiseIdenticalToSerial) {
+  Rng rng(7);
+  const CsrMatrix a =
+      ordered_matrix(testing::random_pattern_symmetric(120, 0.06, rng));
+  LuOptions serial;
+  serial.kernel = LuKernel::Panel;
+  serial.threads = 1;
+  const LuFactors f1 = lu_factorize(a, serial);
+  for (const unsigned t : {2u, 4u, 8u}) {
+    LuOptions par = serial;
+    par.threads = t;
+    const LuFactors ft = lu_factorize(a, par);
+    expect_factors_bitwise(f1, ft, "panel serial vs parallel");
+  }
+}
+
+TEST(PanelLu, FallbackOnPivotDeviationMatchesScalar) {
+  // Classic partial pivoting (pivot_tol = 1) on a matrix without diagonal
+  // dominance: some column's largest entry is off-diagonal, the panel
+  // attempt aborts, and the scalar kernel must produce identical factors.
+  Rng rng(11);
+  const CsrMatrix a =
+      ordered_matrix(testing::random_pattern_symmetric(60, 0.15, rng,
+                                                       /*diag_boost=*/0.0));
+  for (const bool fp32 : {false, true}) {
+    LuOptions scalar;
+    scalar.kernel = LuKernel::Scalar;
+    scalar.pivot_tol = 1.0;
+    LuOptions panel = scalar;
+    panel.kernel = LuKernel::Panel;
+    panel.panel_fp32 = fp32;
+    panel.threads = 3;
+    const LuFactors fs = lu_factorize(a, scalar);
+    const LuFactors fp = lu_factorize(a, panel);
+    ASSERT_FALSE(fp.stats.used_panel)
+        << "expected a pivot deviation to force the scalar fallback";
+    expect_factors_bitwise(fs, fp, "fallback vs scalar");
+  }
+}
+
+TEST(PanelLu, SingularThrowsLikeScalar) {
+  // Exactly repeated row → elimination cancels it to exact zeros → both
+  // kernels must refuse the zero pivot (the panel path via its fallback).
+  Rng rng(3);
+  testing::Dense d(8, std::vector<value_t>(8, 0.0));
+  for (auto& row : d) {
+    for (auto& v : row) v = rng.uniform(-1.0, 1.0);
+  }
+  d[5] = d[2];
+  const CsrMatrix a = testing::from_dense(d);
+  LuOptions scalar;
+  scalar.kernel = LuKernel::Scalar;
+  LuOptions panel;
+  panel.kernel = LuKernel::Panel;
+  EXPECT_THROW(lu_factorize(a, scalar), Error);
+  EXPECT_THROW(lu_factorize(a, panel), Error);
+}
+
+TEST(PanelLu, WidthCapAndRelaxationKnobs) {
+  const CsrMatrix a = ordered_matrix(testing::grid_laplacian(12, 12));
+  LuOptions scalar;
+  scalar.kernel = LuKernel::Scalar;
+  const LuFactors fs = lu_factorize(a, scalar);
+
+  LuOptions capped;
+  capped.kernel = LuKernel::Panel;
+  capped.panel_max_width = 4;
+  const LuFactors fc = lu_factorize(a, capped);
+  EXPECT_TRUE(fc.stats.used_panel);
+  EXPECT_LE(fc.stats.max_width, 4);
+  expect_factors_bitwise(fs, fc, "width cap");
+
+  LuOptions fundamental = capped;
+  fundamental.panel_max_width = 32;
+  fundamental.panel_relax = 0.0;
+  const LuFactors ff = lu_factorize(a, fundamental);
+  LuOptions relaxed = fundamental;
+  relaxed.panel_relax = 0.5;
+  const LuFactors fr = lu_factorize(a, relaxed);
+  // Relaxation only merges panels: never narrower, numerics untouched.
+  EXPECT_GE(fr.stats.avg_width, ff.stats.avg_width);
+  EXPECT_LE(fr.stats.panel_count, ff.stats.panel_count);
+  expect_factors_bitwise(fs, ff, "fundamental supernodes");
+  expect_factors_bitwise(fs, fr, "relaxed amalgamation");
+
+  LuOptions unlimited = fundamental;
+  unlimited.panel_max_width = 0;  // 0 = no cap
+  expect_factors_bitwise(fs, lu_factorize(a, unlimited), "unlimited width");
+}
+
+TEST(PanelLu, Fp32RungRefinesToFp64) {
+  const CsrMatrix a = ordered_matrix(testing::grid_laplacian(12, 12));
+  LuOptions opt;
+  opt.kernel = LuKernel::Panel;
+  opt.panel_fp32 = true;
+  opt.threads = 2;
+  const LuFactors f = lu_factorize(a, opt);
+  EXPECT_TRUE(f.stats.used_panel);
+
+  Rng rng(99);
+  std::vector<value_t> b(a.rows), x(a.rows, 0.0);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  // Plain solve with fp32 factors: ~single-precision relative residual.
+  lu_solve(f, b, x);
+  const double raw = residual_norm(a, x, b) / norm2(b);
+  EXPECT_LT(raw, 1e-4);
+  // Iterative refinement gated on the fp64 true residual recovers fp64.
+  LuRefineOptions ropt;
+  ropt.rel_tol = 1e-12;
+  const LuRefineResult res = lu_solve_refined(f, a, b, x, ropt);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LE(res.rel_residual, 1e-12);
+  EXPECT_GT(res.iterations, 0);
+  EXPECT_LT(residual_norm(a, x, b) / norm2(b), 1e-11);
+}
+
+TEST(PanelLu, MemoryBytesCoversPanelMetadata) {
+  const CsrMatrix a = ordered_matrix(testing::grid_laplacian(8, 8));
+  LuOptions scalar;
+  scalar.kernel = LuKernel::Scalar;
+  LuOptions panel;
+  panel.kernel = LuKernel::Panel;
+  const LuFactors fs = lu_factorize(a, scalar);
+  const LuFactors fp = lu_factorize(a, panel);
+  // Same CSC factors, but the panel result additionally owns the supernode
+  // partition — the serve cache must account for it.
+  EXPECT_GT(fp.memory_bytes(), fs.memory_bytes());
+  EXPECT_GE(fs.memory_bytes(),
+            fs.lower.values.size() * sizeof(value_t) +
+                fs.upper.values.size() * sizeof(value_t));
+}
+
+TEST(PanelLu, FullSolveBitwiseAcrossKernels) {
+  const CsrMatrix a = testing::grid_laplacian(10, 10);
+  Rng rng(5);
+  std::vector<value_t> b(a.rows);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+
+  auto solve_with = [&](LuKernel kernel, unsigned inner) {
+    SolverOptions opt;
+    opt.num_subdomains = 4;
+    opt.assembly.lu.kernel = kernel;
+    opt.assembly.inner_threads = inner;
+    SchurSolver solver(a, opt);
+    solver.setup();
+    solver.factor();
+    std::vector<value_t> x(a.rows, 0.0);
+    solver.solve(b, x);
+    return x;
+  };
+  const std::vector<value_t> xs = solve_with(LuKernel::Scalar, 1);
+  const std::vector<value_t> xp = solve_with(LuKernel::Panel, 1);
+  const std::vector<value_t> xp4 = solve_with(LuKernel::Panel, 4);
+  ASSERT_EQ(xs.size(), xp.size());
+  EXPECT_EQ(0, std::memcmp(xs.data(), xp.data(), xs.size() * sizeof(value_t)));
+  EXPECT_EQ(0, std::memcmp(xs.data(), xp4.data(), xs.size() * sizeof(value_t)));
+}
+
+TEST(Supernodes, AverageWidthOfEmptyFactorIsOne) {
+  // Regression: callers divide by average_width(); an empty factor must
+  // report the neutral width 1.0, not 0.0.
+  const Supernodes empty;
+  EXPECT_EQ(empty.average_width(), 1.0);
+}
+
+}  // namespace
+}  // namespace pdslin

@@ -5,9 +5,10 @@
 // (near-singular rows, empty separators, dense rows, duplicate entries),
 // runs the full hybrid pipeline across the config matrix (graph vs.
 // hypergraph partitioner, threads ∈ {1, k}, nrhs ∈ {1, m}, direct vs. served
-// cold/cached, GMRES vs. BiCGSTAB, exact vs. dropped assembly) and diffs
-// every stage against the dense oracle. On failure the case is shrunk to a
-// minimal reproducer and written as a replayable JSON seed artifact.
+// cold/cached, GMRES vs. BiCGSTAB, exact vs. dropped assembly, LU kernel
+// scalar vs. supernodal panel vs. panel-fp32) and diffs every stage against
+// the dense oracle. On failure the case is shrunk to a minimal reproducer
+// and written as a replayable JSON seed artifact.
 //
 // Usage:
 //   pdslin_fuzz --seeds 500                 # campaign; exit 1 on any failure
