@@ -32,7 +32,9 @@ std::string artifact_to_json(const CaseSpec& spec, const CheckReport* report) {
      << "    \"exact_assembly\": " << (spec.exact_assembly ? "true" : "false")
      << ",\n"
      << "    \"serve\": " << (spec.serve ? "true" : "false") << ",\n"
-     << "    \"lu_kernel\": \"" << to_string(spec.lu_kernel) << "\"\n"
+     << "    \"lu_kernel\": \"" << to_string(spec.lu_kernel) << "\",\n"
+     << "    \"levelset_trisolve\": "
+     << (spec.levelset_trisolve ? "true" : "false") << "\n"
      << "  }";
   if (report != nullptr && !report->ok()) {
     os << ",\n  \"violations\": [\n";
@@ -91,6 +93,11 @@ CaseSpec artifact_from_json(std::string_view text) {
     PDSLIN_CHECK_MSG(lk->is_string() &&
                          lu_kernel_from_string(lk->str, spec.lu_kernel),
                      "unknown lu_kernel in artifact");
+  }
+  // Optional for corpus files written before the trisolve axis existed;
+  // those ran the (then-only) serial engine, which the default reproduces.
+  if (const obsjson::Value* ts = s.find("levelset_trisolve")) {
+    spec.levelset_trisolve = ts->boolean;
   }
 
   PDSLIN_CHECK_MSG(spec.n >= 8 && spec.n <= 4096, "artifact n out of range");

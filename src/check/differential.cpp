@@ -223,11 +223,16 @@ DifferentialResult run_differential(const CaseSpec& spec,
     }
   }
 
-  // Thread determinism: parallel must be bitwise identical to serial.
-  if (opt.check_determinism && (spec.threads > 1 || spec.inner_threads > 1)) {
+  // Thread determinism: parallel must be bitwise identical to serial. The
+  // level-set trisolve lanes rerun against the fully serial engine too —
+  // the gather kernel's accumulation order must equal the serial scatter
+  // even at one thread.
+  if (opt.check_determinism &&
+      (spec.threads > 1 || spec.inner_threads > 1 || spec.levelset_trisolve)) {
     CaseSpec serial = spec;
     serial.threads = 1;
     serial.inner_threads = 1;
+    serial.levelset_trisolve = false;
     std::unique_ptr<SchurSolver> ssolver;
     std::vector<value_t> sx;
     std::vector<GmresResult> sresults;

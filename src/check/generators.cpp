@@ -135,7 +135,8 @@ std::string CaseSpec::to_string() const {
      << threads << "x" << inner_threads << "/nrhs" << nrhs << "/"
      << (krylov == KrylovMethod::Gmres ? "gmres" : "bicgstab") << "/"
      << (exact_assembly ? "exact" : "dropped") << "/"
-     << check::to_string(lu_kernel) << (serve ? "/serve" : "");
+     << check::to_string(lu_kernel) << (levelset_trisolve ? "/ts-level" : "")
+     << (serve ? "/serve" : "");
   return os.str();
 }
 
@@ -321,6 +322,10 @@ CaseSpec sample_case(std::uint64_t base_seed, int i) {
   spec.krylov = (c & 16u) ? KrylovMethod::Bicgstab : KrylovMethod::Gmres;
   spec.exact_assembly = (c & 32u) == 0;
   spec.lu_kernel = static_cast<LuKernelAxis>(c % 3u);
+  // Trisolve engine cycles mod 5 (coprime with the 64-bit layout and the
+  // mod-3 kernel cycle), so every (config, kernel, scheduler) pair is hit
+  // and the level-set lanes appear from the very first seeds.
+  spec.levelset_trisolve = (c % 5u) >= 2;
   return spec;
 }
 
@@ -343,6 +348,10 @@ SolverOptions solver_options_for(const CaseSpec& spec) {
       opt.assembly.lu.kernel = LuKernel::Panel;
       opt.assembly.lu.panel_fp32 = true;
       break;
+  }
+  if (spec.levelset_trisolve) {
+    opt.assembly.trisolve.scheduler = TrisolveScheduler::LevelSet;
+    opt.assembly.trisolve.threads = std::max(1u, spec.inner_threads);
   }
   if (spec.exact_assembly) {
     opt.assembly.drop_wg = 0.0;

@@ -70,6 +70,10 @@ struct CaseSpec {
   bool serve = false;
   /// Which subdomain LU kernel factorizes the interior blocks.
   LuKernelAxis lu_kernel = LuKernelAxis::Panel;
+  /// Triangular-solve engine: false → serial kernels, true → level-set
+  /// scheduling (must agree bitwise with serial at any thread count; the
+  /// differential runner's serial rerun enforces it).
+  bool levelset_trisolve = false;
 
   /// Short id, e.g. "random-diag-dom/n64/seed7/RHB/k4/t3/nrhs2/exact".
   [[nodiscard]] std::string to_string() const;

@@ -76,10 +76,18 @@ bool simpler_lu_kernel(CaseSpec& s) {
                                                        : LuKernelAxis::Scalar;
   return true;
 }
+/// Fall back to the serial trisolve engine: a failure that survives
+/// without level scheduling is not the scheduler's fault.
+bool serial_trisolve(CaseSpec& s) {
+  if (!s.levelset_trisolve) return false;
+  s.levelset_trisolve = false;
+  return true;
+}
 
 constexpr Candidate kLadder[] = {
     halve_n, halve_subdomains, single_rhs, no_serve,       serial,
     gmres_only, sparsify,      shave_n,    ngd_partitioner, simpler_lu_kernel,
+    serial_trisolve,
 };
 
 }  // namespace

@@ -11,14 +11,18 @@
 namespace pdslin {
 
 SchurPreconditioner::SchurPreconditioner(const CsrMatrix& s_tilde,
-                                         const LuOptions& opt)
-    : n_(s_tilde.rows), scratch_(s_tilde.rows) {
+                                         const LuOptions& opt,
+                                         const TrisolveOptions& trisolve)
+    : n_(s_tilde.rows), trisolve_(trisolve), scratch_(s_tilde.rows) {
   PDSLIN_CHECK(s_tilde.rows == s_tilde.cols);
   WallTimer timer;
   const CsrMatrix sym = symmetrize_abs(pattern_of(s_tilde));
   colmap_ = minimum_degree_ordering(sym);
   const CsrMatrix ordered = permute_symmetric(s_tilde, colmap_);
   lu_ = lu_factorize(ordered, opt);
+  if (trisolve_.scheduler == TrisolveScheduler::LevelSet) {
+    schedules_ = build_trisolve_schedules(lu_);
+  }
   factor_seconds_ = timer.seconds();
 }
 
@@ -37,8 +41,14 @@ void SchurPreconditioner::apply_with_scratch(
   for (index_t k = 0; k < n_; ++k) {
     scratch[k] = x[colmap_[lu_.row_perm[k]]];
   }
-  lower_solve_dense(lu_.lower, scratch, /*unit_diag=*/true);
-  upper_solve_dense(lu_.upper, scratch);
+  const std::span<value_t> ws(scratch.data(), static_cast<std::size_t>(n_));
+  if (schedules_) {
+    schedules_->lower.solve(ws, trisolve_.threads);
+    schedules_->upper.solve(ws, trisolve_.threads);
+  } else {
+    lower_solve_dense(lu_.lower, ws, /*unit_diag=*/true);
+    upper_solve_dense(lu_.upper, ws);
+  }
   for (index_t j = 0; j < n_; ++j) y[colmap_[j]] = scratch[j];
 }
 

@@ -1,5 +1,6 @@
 #include "direct/trisolve.hpp"
 
+#include <string>
 #include <vector>
 
 #include "sparse/ops.hpp"
@@ -14,7 +15,11 @@ void lower_solve_dense(const CscMatrix& l, std::span<value_t> x, bool unit_diag)
     const index_t begin = l.col_ptr[j];
     const index_t end = l.col_ptr[j + 1];
     PDSLIN_ASSERT(begin < end && l.row_idx[begin] == j);
-    if (!unit_diag) x[j] /= l.values[begin];
+    if (!unit_diag) {
+      PDSLIN_CHECK_MSG(l.values[begin] != 0.0,
+                       "matrix is singular at column " + std::to_string(j));
+      x[j] /= l.values[begin];
+    }
     const value_t xj = x[j];
     if (xj == 0.0) continue;
     for (index_t p = begin + 1; p < end; ++p) {
@@ -30,6 +35,8 @@ void upper_solve_dense(const CscMatrix& u, std::span<value_t> x) {
     const index_t begin = u.col_ptr[j];
     const index_t end = u.col_ptr[j + 1];
     PDSLIN_ASSERT(begin < end && u.row_idx[end - 1] == j);
+    PDSLIN_CHECK_MSG(u.values[end - 1] != 0.0,
+                     "matrix is singular at column " + std::to_string(j));
     x[j] /= u.values[end - 1];
     const value_t xj = x[j];
     if (xj == 0.0) continue;
@@ -59,7 +66,10 @@ LuRefineResult lu_solve_refined(const LuFactors& f, const CsrMatrix& a,
   LuRefineResult res;
   const value_t bnorm = norm2(b);
   if (bnorm == 0.0) {
-    res.converged = residual_norm(a, x, b) == 0.0;
+    // No norm to scale by: report the *absolute* residual so a caller never
+    // sees rel_residual == 0.0 alongside converged == false.
+    res.rel_residual = residual_norm(a, x, b);
+    res.converged = res.rel_residual == 0.0;
     return res;
   }
   std::vector<value_t> r(f.n), dx(f.n);
@@ -99,6 +109,8 @@ std::span<const index_t> SparseLowerSolver::solve(std::span<const index_t> rows,
   for (index_t j : pattern) {  // ascending = topological for lower triangular
     const index_t begin = l_.col_ptr[j];
     const index_t end = l_.col_ptr[j + 1];
+    PDSLIN_CHECK_MSG(l_.values[begin] != 0.0,
+                     "matrix is singular at column " + std::to_string(j));
     value_t xj = x_[j] / l_.values[begin];
     x_[j] = xj;
     if (xj == 0.0) continue;

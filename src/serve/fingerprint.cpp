@@ -63,9 +63,10 @@ std::uint64_t setup_options_hash(const pdslin::SolverOptions& opt) {
   h = hash_u64(static_cast<std::uint64_t>(opt.assembly.rhs_ordering), h);
   h = hash_double(opt.assembly.lu.pivot_tol, h);
   h = hash_double(opt.assembly.lu.min_pivot, h);
-  // LU kernel knobs that can change the factors' bits. threads is excluded
-  // deliberately: parallel == serial is bitwise, so thread count must not
-  // split the cache.
+  // LU kernel knobs that can change the factors' bits. threads and the
+  // trisolve scheduler (assembly.trisolve) are excluded deliberately:
+  // parallel == serial is bitwise for both, so neither may split the cache
+  // — requests differing only in those knobs share one factorization.
   h = hash_u64(static_cast<std::uint64_t>(opt.assembly.lu.kernel), h);
   h = hash_u64(static_cast<std::uint64_t>(opt.assembly.lu.panel_max_width), h);
   h = hash_double(opt.assembly.lu.panel_relax, h);

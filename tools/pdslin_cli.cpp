@@ -18,6 +18,11 @@
 //   --lu-panel-relax X        relaxed-amalgamation padding    [0.25]
 //   --lu-panel-fp32           factor panels in fp32 (refined to fp64;
 //                             changes factor bits — off by default)
+//   --trisolve serial|levelset triangular-solve engine         [serial]
+//                             (levelset = level-scheduled parallel solves
+//                             inside one L/U solve, bitwise == serial)
+//   --trisolve-threads N      workers per level-set solve
+//                             [inner-threads]
 //   --krylov gmres|bicgstab   Schur iterative method          [gmres]
 //   --nrhs N                  right-hand sides solved as one batch      [1]
 //                             (one operator/preconditioner/workspace set
@@ -81,6 +86,7 @@ int main(int argc, char** argv) {
   std::string report_out;
   double scale = 1.0;
   index_t nrhs = 1;
+  unsigned trisolve_threads = 0;  // 0 → follow --inner-threads
   SolverOptions opt;
   opt.partitioning = PartitionMethod::RHB;
   opt.metric = CutMetric::Soed;
@@ -159,6 +165,13 @@ int main(int argc, char** argv) {
       opt.threads = static_cast<unsigned>(std::atoi(next()));
     } else if (arg == "--inner-threads") {
       opt.assembly.inner_threads = static_cast<unsigned>(std::atoi(next()));
+    } else if (arg == "--trisolve") {
+      const std::string k = next();
+      if (k == "serial") opt.assembly.trisolve.scheduler = TrisolveScheduler::Serial;
+      else if (k == "levelset") opt.assembly.trisolve.scheduler = TrisolveScheduler::LevelSet;
+      else usage("unknown --trisolve (serial|levelset)");
+    } else if (arg == "--trisolve-threads") {
+      trisolve_threads = static_cast<unsigned>(std::atoi(next()));
     } else if (arg == "--seed") {
       opt.seed = static_cast<std::uint64_t>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--verbose") {
@@ -173,6 +186,9 @@ int main(int argc, char** argv) {
   }
   if (matrix.empty()) usage("--matrix is required");
   opt.krylov = krylov == "bicgstab" ? KrylovMethod::Bicgstab : KrylovMethod::Gmres;
+  opt.assembly.trisolve.threads =
+      trisolve_threads != 0 ? trisolve_threads
+                            : std::max(1u, opt.assembly.inner_threads);
 
   obs::trace_init_from_env();
   if (!trace_out.empty()) obs::trace_enable();

@@ -6,9 +6,11 @@
 // runs the full hybrid pipeline across the config matrix (graph vs.
 // hypergraph partitioner, threads ∈ {1, k}, nrhs ∈ {1, m}, direct vs. served
 // cold/cached, GMRES vs. BiCGSTAB, exact vs. dropped assembly, LU kernel
-// scalar vs. supernodal panel vs. panel-fp32) and diffs every stage against
-// the dense oracle. On failure the case is shrunk to a minimal reproducer
-// and written as a replayable JSON seed artifact.
+// scalar vs. supernodal panel vs. panel-fp32, triangular solves serial vs.
+// level-set scheduled) and diffs every stage against the dense oracle; the
+// level-set lanes additionally rerun fully serial and must match bitwise.
+// On failure the case is shrunk to a minimal reproducer and written as a
+// replayable JSON seed artifact.
 //
 // Usage:
 //   pdslin_fuzz --seeds 500                 # campaign; exit 1 on any failure
