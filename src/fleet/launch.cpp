@@ -1,0 +1,120 @@
+#include "fleet/launch.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace pdslin::fleet {
+
+namespace {
+
+/// Reap if exited. Returns true while the child is still alive.
+bool alive(pid_t pid) {
+  if (pid <= 0) return false;
+  const pid_t rc = ::waitpid(pid, nullptr, WNOHANG);
+  return rc == 0;
+}
+
+}  // namespace
+
+WorkerProcess WorkerProcess::spawn(const WorkerSpawnOptions& opt) {
+  PDSLIN_CHECK_MSG(!opt.worker_bin.empty(), "fleet: worker binary path empty");
+
+  // argv must be fully materialized before fork: the child may only call
+  // async-signal-safe functions until execv.
+  std::vector<std::string> args;
+  args.push_back(opt.worker_bin);
+  args.push_back("--listen");
+  args.push_back(opt.endpoint.to_string());
+  for (const std::string& a : opt.extra_args) args.push_back(a);
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  PDSLIN_CHECK_MSG(pid >= 0, "fleet: fork failed");
+  if (pid == 0) {
+    ::execv(argv[0], argv.data());
+    _exit(127);  // exec failed; async-signal-safe exit only
+  }
+
+  WorkerProcess wp;
+  wp.pid_ = pid;
+  wp.endpoint_ = opt.endpoint;
+
+  // Readiness probe: retry-connect until the accept loop answers. A probe
+  // connection that immediately closes is harmless to the worker (its
+  // reader sees EOF and the connection threads exit).
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(opt.ready_timeout_ms);
+  for (;;) {
+    Socket probe = connect_to(opt.endpoint, 200);
+    if (probe.valid()) break;
+    if (!alive(pid)) {
+      wp.pid_ = -1;
+      throw Error("fleet: worker " + opt.worker_bin +
+                  " exited before becoming ready on " +
+                  opt.endpoint.to_string());
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      wp.kill_hard();
+      throw Error("fleet: worker on " + opt.endpoint.to_string() +
+                  " not ready within timeout");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  log_info("fleet: spawned worker pid=", pid, " on ",
+           opt.endpoint.to_string());
+  return wp;
+}
+
+WorkerProcess::~WorkerProcess() { terminate(); }
+
+WorkerProcess::WorkerProcess(WorkerProcess&& other) noexcept
+    : pid_(other.pid_), endpoint_(std::move(other.endpoint_)) {
+  other.pid_ = -1;
+}
+
+WorkerProcess& WorkerProcess::operator=(WorkerProcess&& other) noexcept {
+  if (this != &other) {
+    terminate();
+    pid_ = other.pid_;
+    endpoint_ = std::move(other.endpoint_);
+    other.pid_ = -1;
+  }
+  return *this;
+}
+
+bool WorkerProcess::running() { return alive(pid_); }
+
+void WorkerProcess::terminate(int grace_ms) {
+  if (pid_ <= 0) return;
+  ::kill(pid_, SIGTERM);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(grace_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (::waitpid(pid_, nullptr, WNOHANG) != 0) {
+      pid_ = -1;
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  kill_hard();
+}
+
+void WorkerProcess::kill_hard() {
+  if (pid_ <= 0) return;
+  ::kill(pid_, SIGKILL);
+  ::waitpid(pid_, nullptr, 0);
+  pid_ = -1;
+}
+
+}  // namespace pdslin::fleet

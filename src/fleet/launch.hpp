@@ -1,0 +1,59 @@
+// Worker-process lifecycle for drivers and tests: fork+exec a
+// tools/pdslin_worker binary on an endpoint, wait until it accepts
+// connections, and own the pid (SIGTERM-drain on destruction, SIGKILL for
+// the failover drills). The fork happens from a threaded parent, so the
+// child calls nothing but async-signal-safe functions before execv.
+#pragma once
+
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "fleet/socket.hpp"
+
+namespace pdslin::fleet {
+
+struct WorkerSpawnOptions {
+  /// Path to the pdslin_worker binary.
+  std::string worker_bin;
+  /// Endpoint the worker should listen on. Use unix: endpoints for spawned
+  /// workers — a TCP port-0 child has no way to report its real port back.
+  Endpoint endpoint;
+  /// Extra argv entries (service flags: "--workers", "2", ...).
+  std::vector<std::string> extra_args;
+  /// How long to wait for the worker to accept connections.
+  int ready_timeout_ms = 15000;
+};
+
+/// One spawned worker process. Move-only; the destructor terminates a
+/// still-running child (SIGTERM, then SIGKILL after a grace period).
+class WorkerProcess {
+ public:
+  /// fork+exec and block until the endpoint accepts a connection. Throws
+  /// pdslin::Error when the binary cannot be spawned or the worker never
+  /// becomes ready (including when the child exits early).
+  static WorkerProcess spawn(const WorkerSpawnOptions& opt);
+
+  WorkerProcess() = default;
+  ~WorkerProcess();
+  WorkerProcess(const WorkerProcess&) = delete;
+  WorkerProcess& operator=(const WorkerProcess&) = delete;
+  WorkerProcess(WorkerProcess&& other) noexcept;
+  WorkerProcess& operator=(WorkerProcess&& other) noexcept;
+
+  [[nodiscard]] pid_t pid() const { return pid_; }
+  [[nodiscard]] const Endpoint& endpoint() const { return endpoint_; }
+  [[nodiscard]] bool running();
+
+  /// Graceful stop: SIGTERM (the worker drains), waitpid with a grace
+  /// period, SIGKILL if it overstays. Idempotent.
+  void terminate(int grace_ms = 10000);
+  /// Immediate SIGKILL + reap — the "worker dies mid-run" failover drill.
+  void kill_hard();
+
+ private:
+  pid_t pid_ = -1;
+  Endpoint endpoint_;
+};
+
+}  // namespace pdslin::fleet

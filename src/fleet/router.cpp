@@ -1,0 +1,599 @@
+#include "fleet/router.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/fingerprint.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace pdslin::fleet {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+serve::SolveResponse make_failure(serve::ServeStatus status,
+                                  std::string detail) {
+  serve::SolveResponse resp;
+  resp.status = status;
+  resp.detail = std::move(detail);
+  return resp;
+}
+
+}  // namespace
+
+const char* to_string(ShardState s) {
+  switch (s) {
+    case ShardState::Up: return "up";
+    case ShardState::Degraded: return "degraded";
+    case ShardState::Down: return "down";
+  }
+  return "?";
+}
+
+/// A routed request awaiting its response. Owns everything needed to retry
+/// on another shard: the routing key and the encoded payload (shared, so a
+/// failover does not re-serialize the matrix).
+struct FleetRouter::PendingEntry {
+  serve::Fingerprint fp;
+  std::uint64_t options_hash = 0;
+  std::shared_ptr<const std::vector<std::uint8_t>> payload;
+  std::promise<serve::SolveResponse> promise;
+  std::uint64_t tried = 0;  // bitmask of shard indices already attempted
+  Clock::time_point deadline{};
+  bool has_deadline = false;
+};
+
+struct FleetRouter::Shard {
+  std::size_t index = 0;
+  ShardConfig cfg;
+
+  /// Guards sock/connected/pending/readers/last_stats. Never held while
+  /// writing to the socket (write_mu serializes that) or while touching
+  /// another shard — so failover dispatch cannot deadlock across shards.
+  std::mutex mu;
+  Socket sock;
+  bool connected = false;
+  /// Sockets of broken connections are shut down but kept open until
+  /// stop(): closing would let the kernel reuse the fd number while a
+  /// straggling writer still holds it.
+  std::vector<Socket> retired_socks;
+  std::vector<std::thread> readers;  // one live per connection + retired
+  std::condition_variable cv_window;
+  std::unordered_map<std::uint64_t, PendingEntry> pending;
+  WireShardStats last_stats;
+
+  std::mutex write_mu;
+
+  // Heartbeat state: monitor thread only (except the state atomic).
+  Socket hb_sock;
+  int misses = 0;
+  std::uint64_t hb_seq = 0;
+  std::atomic<int> state{static_cast<int>(ShardState::Up)};
+
+  std::atomic<long long> routed{0};
+  std::atomic<long long> send_failures{0};
+
+  [[nodiscard]] ShardState state_now() const {
+    return static_cast<ShardState>(state.load(std::memory_order_relaxed));
+  }
+};
+
+FleetRouter::FleetRouter(FleetRouterConfig cfg) : cfg_(std::move(cfg)) {
+  PDSLIN_CHECK_MSG(!cfg_.shards.empty(), "fleet: router needs >= 1 shard");
+  PDSLIN_CHECK_MSG(cfg_.shards.size() <= 64,
+                   "fleet: at most 64 shards (tried-set is a u64 bitmask)");
+  PDSLIN_CHECK_MSG(cfg_.vnodes >= 1, "fleet: vnodes must be >= 1");
+  shards_.reserve(cfg_.shards.size());
+  ring_.reserve(cfg_.shards.size() * static_cast<std::size_t>(cfg_.vnodes));
+  for (std::size_t i = 0; i < cfg_.shards.size(); ++i) {
+    auto sh = std::make_unique<Shard>();
+    sh->index = i;
+    sh->cfg = cfg_.shards[i];
+    shards_.push_back(std::move(sh));
+    for (int v = 0; v < cfg_.vnodes; ++v) {
+      const std::string point = cfg_.shards[i].name + "#" + std::to_string(v);
+      ring_.emplace_back(serve::hash_bytes(point.data(), point.size()), i);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+FleetRouter::~FleetRouter() { stop(); }
+
+void FleetRouter::start() {
+  if (started_.exchange(true)) return;
+  monitor_ = std::thread([this] {
+    obs::label_this_thread("fleet-monitor");
+    monitor_loop();
+  });
+}
+
+std::uint64_t FleetRouter::ring_key(const serve::Fingerprint& fp,
+                                    std::uint64_t options_hash) const {
+  const auto bytes = fp.to_bytes();
+  const std::uint64_t h = serve::hash_bytes(bytes.data(), bytes.size());
+  return serve::hash_bytes(&options_hash, sizeof(options_hash), h);
+}
+
+std::size_t FleetRouter::ring_lookup(std::uint64_t key) const {
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), key,
+      [](const std::pair<std::uint64_t, std::size_t>& p, std::uint64_t k) {
+        return p.first < k;
+      });
+  if (it == ring_.end()) it = ring_.begin();  // wrap
+  return it - ring_.begin();
+}
+
+std::size_t FleetRouter::shard_count() const { return shards_.size(); }
+
+std::size_t FleetRouter::route_of(const serve::Fingerprint& fp,
+                                  std::uint64_t options_hash) const {
+  return ring_[ring_lookup(ring_key(fp, options_hash))].second;
+}
+
+std::future<serve::SolveResponse> FleetRouter::submit(
+    serve::SolveRequest req) {
+  PDSLIN_CHECK_MSG(req.a != nullptr, "fleet: solve request without a matrix");
+  PendingEntry entry;
+  entry.fp = serve::fingerprint_of(*req.a);
+  entry.options_hash = serve::setup_options_hash(req.opt);
+  entry.payload = std::make_shared<const std::vector<std::uint8_t>>(
+      encode_solve_request(req, entry.fp, entry.options_hash));
+  if (cfg_.request_timeout_seconds > 0.0) {
+    entry.has_deadline = true;
+    entry.deadline = Clock::now() + std::chrono::microseconds(static_cast<long long>(
+                         cfg_.request_timeout_seconds * 1e6));
+  }
+  std::future<serve::SolveResponse> fut = entry.promise.get_future();
+  dispatch(std::move(entry));
+  return fut;
+}
+
+serve::SolveResponse FleetRouter::solve(serve::SolveRequest req) {
+  return submit(std::move(req)).get();
+}
+
+bool FleetRouter::dispatch(PendingEntry entry) {
+  if (stopping_.load(std::memory_order_relaxed)) {
+    fail_entry(entry, serve::ServeStatus::Rejected, "fleet: router stopping");
+    return false;
+  }
+  // Candidate shards in ring-successor order from this key's primary.
+  std::vector<std::size_t> order;
+  order.reserve(shards_.size());
+  std::uint64_t seen = 0;
+  const std::size_t start = ring_lookup(ring_key(entry.fp, entry.options_hash));
+  for (std::size_t i = 0;
+       i < ring_.size() && order.size() < shards_.size(); ++i) {
+    const std::size_t sh = ring_[(start + i) % ring_.size()].second;
+    if (!(seen >> sh & 1)) {
+      seen |= 1ull << sh;
+      order.push_back(sh);
+    }
+  }
+
+  const int allowed = cfg_.max_failover_hops + 1;
+  for (;;) {
+    if (stopping_.load(std::memory_order_relaxed)) {
+      fail_entry(entry, serve::ServeStatus::Rejected,
+                 "fleet: router stopping");
+      return false;
+    }
+    const int attempts = std::popcount(entry.tried);
+    if (attempts >= allowed) {
+      fail_entry(entry, serve::ServeStatus::Failed,
+                 "fleet: request failed after trying " +
+                     std::to_string(attempts) + " shard(s)");
+      return false;
+    }
+    // Prefer untried non-Down shards (pass 0); if every untried shard looks
+    // down, try them anyway (pass 1) — the heartbeat may simply be stale.
+    int chosen = -1;
+    for (int pass = 0; pass < 2 && chosen < 0; ++pass) {
+      for (const std::size_t sh : order) {
+        if (entry.tried >> sh & 1) continue;
+        if (pass == 0 && shards_[sh]->state_now() == ShardState::Down) {
+          continue;
+        }
+        chosen = static_cast<int>(sh);
+        break;
+      }
+    }
+    if (chosen < 0) {
+      fail_entry(entry, serve::ServeStatus::Failed,
+                 "fleet: all shards failed");
+      return false;
+    }
+    if (attempts > 0) obs::counter("fleet.requests.failed_over").add();
+    entry.tried |= 1ull << chosen;
+    Shard& shard = *shards_[static_cast<std::size_t>(chosen)];
+    if (try_send(shard, entry)) return true;
+    shard.send_failures.fetch_add(1, std::memory_order_relaxed);
+    log_warn("fleet: dispatch to shard ", shard.cfg.name,
+             " failed; trying ring successor");
+  }
+}
+
+bool FleetRouter::try_send(Shard& shard, PendingEntry& entry) {
+  std::unique_lock<std::mutex> lock(shard.mu);
+  if (stopping_.load(std::memory_order_relaxed)) return false;
+  if (!shard.connected) {
+    lock.unlock();
+    Socket c = connect_to(shard.cfg.endpoint, cfg_.connect_timeout_ms);
+    lock.lock();
+    if (stopping_.load(std::memory_order_relaxed)) return false;
+    if (!shard.connected) {
+      if (!c.valid()) return false;
+      if (shard.sock.valid()) {
+        shard.retired_socks.push_back(std::move(shard.sock));
+      }
+      shard.sock = std::move(c);
+      shard.connected = true;
+      shard.readers.emplace_back([this, &shard] {
+        obs::label_this_thread("fleet-route-read");
+        reader_loop(shard);
+      });
+    }
+    // else: another dispatcher connected while we dialed; use theirs.
+  }
+  // Bounded in-flight window: backpressure instead of piling every request
+  // onto one slow shard.
+  const bool got_slot = shard.cv_window.wait_for(
+      lock, std::chrono::milliseconds(cfg_.window_wait_ms), [&] {
+        return shard.pending.size() < cfg_.max_in_flight || !shard.connected ||
+               stopping_.load(std::memory_order_relaxed);
+      });
+  if (!got_slot || !shard.connected ||
+      stopping_.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  const int fd = shard.sock.fd();
+  const std::shared_ptr<const std::vector<std::uint8_t>> payload =
+      entry.payload;
+  // Park the entry before writing: the response can race back arbitrarily
+  // fast once the frame is on the wire.
+  shard.pending.emplace(id, std::move(entry));
+  lock.unlock();
+
+  bool ok;
+  {
+    std::lock_guard<std::mutex> wlock(shard.write_mu);
+    ok = write_frame(fd, FrameType::SolveRequest, id, *payload);
+  }
+  if (!ok) {
+    // Reclaim the entry unless the reader's break handler already took it
+    // (in which case the failover is its job, not ours).
+    std::lock_guard<std::mutex> relock(shard.mu);
+    auto it = shard.pending.find(id);
+    if (it == shard.pending.end()) return true;
+    entry = std::move(it->second);
+    shard.pending.erase(it);
+    return false;
+  }
+  shard.routed.fetch_add(1, std::memory_order_relaxed);
+  obs::counter("fleet.requests.routed").add();
+  return true;
+}
+
+void FleetRouter::reader_loop(Shard& shard) {
+  for (;;) {
+    Frame frame;
+    int rc = 0;
+    try {
+      rc = read_frame(shard.sock.fd(), frame);
+    } catch (const WireError& e) {
+      log_warn("fleet: shard ", shard.cfg.name, ": ", e.what(),
+               " — dropping connection");
+      rc = -1;
+    }
+    if (rc <= 0) break;
+
+    if (frame.type == FrameType::SolveResponse) {
+      serve::SolveResponse resp;
+      try {
+        resp = decode_solve_response(frame.payload);
+      } catch (const WireError& e) {
+        log_warn("fleet: shard ", shard.cfg.name, ": ", e.what(),
+                 " — dropping connection");
+        break;
+      }
+      PendingEntry entry;
+      bool found = false;
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.pending.find(frame.request_id);
+        if (it != shard.pending.end()) {
+          entry = std::move(it->second);
+          shard.pending.erase(it);
+          found = true;
+        }
+      }
+      shard.cv_window.notify_one();
+      if (found) {
+        entry.promise.set_value(std::move(resp));
+      } else {
+        // Typically a response that outlived its deadline sweep.
+        obs::counter("fleet.responses.orphaned").add();
+      }
+    } else if (frame.type == FrameType::Error) {
+      const std::string detail(frame.payload.begin(), frame.payload.end());
+      log_warn("fleet: shard ", shard.cfg.name, " rejected request ",
+               frame.request_id, ": ", detail);
+      PendingEntry entry;
+      bool found = false;
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.pending.find(frame.request_id);
+        if (it != shard.pending.end()) {
+          entry = std::move(it->second);
+          shard.pending.erase(it);
+          found = true;
+        }
+      }
+      shard.cv_window.notify_one();
+      if (found) {
+        // Could be transport corruption this shard happened to catch —
+        // worth one hop to a ring successor before giving up.
+        obs::counter("fleet.requests.retried").add();
+        dispatch(std::move(entry));
+      }
+    }
+    // Pong or anything else on a request connection: ignore.
+  }
+  on_connection_broken(shard);
+}
+
+void FleetRouter::on_connection_broken(Shard& shard) {
+  std::vector<PendingEntry> orphans;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.connected = false;
+    // Make straggling writers fail fast; the fd itself stays allocated
+    // (closed in stop()) so it cannot be reused under them.
+    shard.sock.shutdown_both();
+    orphans.reserve(shard.pending.size());
+    for (auto& [id, entry] : shard.pending) orphans.push_back(std::move(entry));
+    shard.pending.clear();
+  }
+  shard.cv_window.notify_all();
+  if (orphans.empty()) return;
+  if (stopping_.load(std::memory_order_relaxed)) {
+    for (PendingEntry& e : orphans) {
+      fail_entry(e, serve::ServeStatus::Rejected, "fleet: router stopping");
+    }
+    return;
+  }
+  obs::counter("fleet.connections.broken").add();
+  log_warn("fleet: connection to shard ", shard.cfg.name, " broke with ",
+           orphans.size(), " request(s) in flight — failing over");
+  for (PendingEntry& e : orphans) {
+    obs::counter("fleet.requests.retried").add();
+    dispatch(std::move(e));
+  }
+}
+
+void FleetRouter::monitor_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    for (const auto& shard : shards_) {
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      heartbeat_one(*shard);
+    }
+    sweep_timeouts();
+    // Sleep in small slices so stop() is never blocked behind a full period.
+    const auto wake =
+        Clock::now() + std::chrono::milliseconds(cfg_.heartbeat_period_ms);
+    while (Clock::now() < wake && !stopping_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+}
+
+void FleetRouter::heartbeat_one(Shard& shard) {
+  auto miss = [&] {
+    shard.hb_sock.close();
+    shard.misses += 1;
+    obs::counter("fleet.heartbeat.missed").add();
+    ShardState next = ShardState::Up;
+    if (shard.misses >= cfg_.down_after_misses) {
+      next = ShardState::Down;
+    } else if (shard.misses >= cfg_.degraded_after_misses) {
+      next = ShardState::Degraded;
+    }
+    const ShardState prev = shard.state_now();
+    if (next != prev && next != ShardState::Up) {
+      log_warn("fleet: shard ", shard.cfg.name, " ", to_string(prev), " -> ",
+               to_string(next), " after ", shard.misses,
+               " missed heartbeat(s)");
+      shard.state.store(static_cast<int>(next), std::memory_order_relaxed);
+    }
+    obs::gauge("fleet.shard." + shard.cfg.name + ".state")
+        .set(static_cast<double>(shard.state.load(std::memory_order_relaxed)));
+  };
+
+  if (!shard.hb_sock.valid()) {
+    shard.hb_sock = connect_to(shard.cfg.endpoint, cfg_.heartbeat_timeout_ms);
+    if (!shard.hb_sock.valid()) {
+      miss();
+      return;
+    }
+  }
+  const std::uint64_t id = ++shard.hb_seq;
+  if (!write_frame(shard.hb_sock.fd(), FrameType::Ping, id)) {
+    miss();
+    return;
+  }
+  Frame frame;
+  for (;;) {
+    int rc = 0;
+    try {
+      rc = read_frame(shard.hb_sock.fd(), frame, cfg_.heartbeat_timeout_ms);
+    } catch (const WireError&) {
+      rc = -1;
+    }
+    if (rc != 1) {
+      miss();
+      return;
+    }
+    if (frame.type == FrameType::Pong && frame.request_id == id) break;
+    // A stale Pong from a previously timed-out Ping: skip it.
+  }
+  WireShardStats stats;
+  try {
+    stats = decode_shard_stats(frame.payload);
+  } catch (const WireError&) {
+    miss();
+    return;
+  }
+
+  const ShardState prev = shard.state_now();
+  if (prev != ShardState::Up) {
+    log_info("fleet: shard ", shard.cfg.name, " ", to_string(prev),
+             " -> up (heartbeat recovered)");
+  }
+  shard.misses = 0;
+  shard.state.store(static_cast<int>(ShardState::Up),
+                    std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.last_stats = stats;
+  }
+  obs::counter("fleet.heartbeat.ok").add();
+  const std::string prefix = "fleet.shard." + shard.cfg.name;
+  obs::gauge(prefix + ".state").set(0.0);
+  obs::gauge(prefix + ".in_flight")
+      .set(static_cast<double>(stats.in_flight));
+  obs::gauge(prefix + ".cache_hit_rate").set(stats.cache_hit_rate());
+  obs::gauge(prefix + ".cache_bytes")
+      .set(static_cast<double>(stats.cache_bytes));
+  obs::gauge(prefix + ".completed").set(static_cast<double>(stats.completed));
+}
+
+void FleetRouter::sweep_timeouts() {
+  if (cfg_.request_timeout_seconds <= 0.0) return;
+  const auto now = Clock::now();
+  for (const auto& shard : shards_) {
+    std::vector<PendingEntry> expired;
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      for (auto it = shard->pending.begin(); it != shard->pending.end();) {
+        if (it->second.has_deadline && now > it->second.deadline) {
+          expired.push_back(std::move(it->second));
+          it = shard->pending.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    if (expired.empty()) continue;
+    shard->cv_window.notify_all();
+    for (PendingEntry& e : expired) {
+      obs::counter("fleet.requests.timeout").add();
+      fail_entry(e, serve::ServeStatus::Timeout,
+                 "fleet: request deadline exceeded in flight on shard " +
+                     shard->cfg.name);
+    }
+  }
+}
+
+void FleetRouter::fail_entry(PendingEntry& entry, serve::ServeStatus status,
+                             const std::string& detail) {
+  if (status == serve::ServeStatus::Failed) {
+    obs::counter("fleet.requests.failed").add();
+  }
+  entry.promise.set_value(make_failure(status, detail));
+}
+
+std::size_t FleetRouter::broadcast_shutdown(int timeout_ms) {
+  std::size_t acked = 0;
+  for (const auto& shard : shards_) {
+    Socket c = connect_to(shard->cfg.endpoint, cfg_.connect_timeout_ms);
+    if (!c.valid()) continue;
+    if (!write_frame(c.fd(), FrameType::Shutdown, 0)) continue;
+    for (;;) {
+      Frame frame;
+      int rc = 0;
+      try {
+        rc = read_frame(c.fd(), frame, timeout_ms);
+      } catch (const WireError&) {
+        rc = -1;
+      }
+      if (rc != 1) break;
+      if (frame.type == FrameType::ShutdownAck) {
+        acked += 1;
+        break;
+      }
+    }
+  }
+  return acked;
+}
+
+ShardHealth FleetRouter::shard_health(std::size_t shard) const {
+  PDSLIN_CHECK_MSG(shard < shards_.size(), "fleet: shard index out of range");
+  Shard& s = *shards_[shard];
+  ShardHealth h;
+  h.name = s.cfg.name;
+  h.state = s.state_now();
+  h.consecutive_misses = s.misses;
+  h.routed = s.routed.load(std::memory_order_relaxed);
+  h.send_failures = s.send_failures.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    h.stats = s.last_stats;
+  }
+  return h;
+}
+
+void FleetRouter::stop() {
+  if (stopping_.exchange(true)) return;
+  if (monitor_.joinable()) monitor_.join();
+  // Phase 1: wake every shard — readers blocked in read_frame see the
+  // shutdown, dispatchers parked on any window wait see stopping_ — and
+  // fail the outstanding requests. All shards first, then joins: a reader
+  // of shard A may be waiting on shard B's window.
+  std::vector<PendingEntry> orphans;
+  for (const auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->connected = false;
+      shard->sock.shutdown_both();
+      for (auto& [id, entry] : shard->pending) {
+        orphans.push_back(std::move(entry));
+      }
+      shard->pending.clear();
+    }
+    shard->cv_window.notify_all();
+  }
+  for (PendingEntry& e : orphans) {
+    fail_entry(e, serve::ServeStatus::Rejected, "fleet: router stopped");
+  }
+  // Phase 2: join readers (any late dispatch they attempt rejects fast).
+  for (const auto& shard : shards_) {
+    std::vector<std::thread> readers;
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      readers.swap(shard->readers);
+    }
+    for (std::thread& t : readers) {
+      if (t.joinable()) t.join();
+    }
+  }
+  // Phase 3: no thread can touch the fds anymore — close them.
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->sock.close();
+    shard->retired_socks.clear();
+    shard->hb_sock.close();
+  }
+}
+
+}  // namespace pdslin::fleet

@@ -1,0 +1,152 @@
+// Fleet router: consistent-hash front end over N pdslin_worker shards.
+//
+// Routing. Each request's setup key (matrix fingerprint + setup-options
+// hash) is hashed onto a ring of virtual nodes (cfg.vnodes points per
+// shard, points derived from the shard *name*, not its position), so
+//   - equal setups always land on the same shard — its LRU factor cache
+//     stays hot and the shards' cached key spaces stay disjoint;
+//   - adding/removing one shard remaps only ~1/N of the key space instead
+//     of reshuffling everything (the classic consistent-hashing property).
+//
+// Failure handling. Every dispatch is bounded: connect timeout, per-shard
+// in-flight window (backpressure instead of unbounded queueing on a slow
+// shard), and a request deadline swept by the monitor thread. A broken
+// connection fails over the affected requests to the ring successor —
+// distinct shards only, at most cfg.max_failover_hops extra shards — and
+// exhaustion yields a structured ServeStatus::Failed response, never a hang
+// or an exception. Workers compute bitwise-identical answers for a given
+// request (the repo's determinism invariant), so a failed-over request
+// returns exactly the bytes the primary would have produced.
+//
+// Health. The monitor thread heartbeats every shard over a dedicated
+// connection (workers answer Pings from their reader thread, never queued
+// behind solves), driving the up/degraded/down ladder by consecutive
+// misses. Down shards are skipped at routing time; their key ranges flow to
+// ring successors until the heartbeat recovers. Pong payloads carry each
+// shard's service + cache counters, mirrored into the fleet.* metrics
+// family (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/socket.hpp"
+#include "fleet/wire.hpp"
+#include "serve/batcher.hpp"
+
+namespace pdslin::fleet {
+
+enum class ShardState { Up, Degraded, Down };
+const char* to_string(ShardState s);
+
+struct ShardConfig {
+  /// Stable identity: ring points hash the name, so renaming a shard remaps
+  /// its keys but re-pointing an endpoint (worker restart) does not.
+  std::string name;
+  Endpoint endpoint;
+};
+
+struct FleetRouterConfig {
+  std::vector<ShardConfig> shards;  // at most 64
+  /// Virtual nodes per shard; more points → smoother key-space split.
+  int vnodes = 64;
+  /// Per-shard bound on requests awaiting a response; dispatch blocks
+  /// (bounded) for a slot, then treats the shard as unavailable.
+  std::size_t max_in_flight = 64;
+  int connect_timeout_ms = 2000;
+  /// Ceiling on one wait for an in-flight slot before failing over.
+  int window_wait_ms = 10000;
+  /// End-to-end deadline per request (dispatch + solve + response);
+  /// 0 = none. Expired requests complete with ServeStatus::Timeout.
+  double request_timeout_seconds = 0.0;
+  /// Extra distinct shards to try after the primary (ring successors).
+  int max_failover_hops = 2;
+  int heartbeat_period_ms = 100;
+  /// Per-heartbeat connect/response budget; a miss past this is a miss.
+  int heartbeat_timeout_ms = 1000;
+  int degraded_after_misses = 2;  // consecutive misses → Degraded
+  int down_after_misses = 5;      // consecutive misses → Down
+};
+
+/// One shard's externally visible condition (tests, bench, pdslin_fleet).
+struct ShardHealth {
+  std::string name;
+  ShardState state = ShardState::Up;
+  int consecutive_misses = 0;
+  WireShardStats stats;  // last Pong payload (zeros before the first)
+  long long routed = 0;   // requests dispatched here (including retries)
+  long long send_failures = 0;
+};
+
+/// The router. submit() is thread-safe; responses complete on router
+/// threads. stop() fails outstanding requests with Rejected — callers that
+/// want every answer wait on their futures first (the worker side drains
+/// deterministically regardless).
+class FleetRouter {
+ public:
+  explicit FleetRouter(FleetRouterConfig cfg);
+  ~FleetRouter();
+
+  FleetRouter(const FleetRouter&) = delete;
+  FleetRouter& operator=(const FleetRouter&) = delete;
+
+  /// Start the monitor thread. Connections are dialed lazily on first use,
+  /// so start() succeeds even while workers are still coming up.
+  void start();
+  void stop();
+
+  /// Route + dispatch. The future always completes: with the worker's
+  /// response, or a structured Timeout/Rejected/Failed. Throws
+  /// pdslin::Error only on malformed requests (null matrix).
+  std::future<serve::SolveResponse> submit(serve::SolveRequest req);
+
+  /// submit() + wait.
+  serve::SolveResponse solve(serve::SolveRequest req);
+
+  [[nodiscard]] std::size_t shard_count() const;
+  /// Ring lookup only (health-blind): which shard owns this key? Exposed so
+  /// bench/fleet can compare expected vs. observed placement.
+  [[nodiscard]] std::size_t route_of(const serve::Fingerprint& fp,
+                                     std::uint64_t options_hash) const;
+  [[nodiscard]] ShardHealth shard_health(std::size_t shard) const;
+
+  /// Graceful fleet stop: send Shutdown to every shard and wait (bounded)
+  /// for each ShutdownAck — workers drain accepted work before acking.
+  /// Returns the number of shards that acked.
+  std::size_t broadcast_shutdown(int timeout_ms = 30000);
+
+ private:
+  struct Shard;
+  struct PendingEntry;
+
+  [[nodiscard]] std::uint64_t ring_key(const serve::Fingerprint& fp,
+                                       std::uint64_t options_hash) const;
+  [[nodiscard]] std::size_t ring_lookup(std::uint64_t key) const;
+  /// Walk ring successors from the primary, skipping tried/Down shards.
+  /// Returns false (and completes the promise as Failed) on exhaustion.
+  bool dispatch(PendingEntry entry);
+  bool try_send(Shard& shard, PendingEntry& entry);
+  void reader_loop(Shard& shard);
+  void on_connection_broken(Shard& shard);
+  void monitor_loop();
+  void heartbeat_one(Shard& shard);
+  void sweep_timeouts();
+  void fail_entry(PendingEntry& entry, serve::ServeStatus status,
+                  const std::string& detail);
+
+  FleetRouterConfig cfg_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Sorted ring: (hash point, shard index).
+  std::vector<std::pair<std::uint64_t, std::size_t>> ring_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+  std::thread monitor_;
+};
+
+}  // namespace pdslin::fleet

@@ -1,0 +1,254 @@
+#include "fleet/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/error.hpp"
+
+namespace pdslin::fleet {
+
+namespace {
+
+/// sockaddr storage + length for either family.
+struct Addr {
+  sockaddr_storage storage{};
+  socklen_t len = 0;
+  [[nodiscard]] const sockaddr* sa() const {
+    return reinterpret_cast<const sockaddr*>(&storage);
+  }
+  [[nodiscard]] sockaddr* sa() {
+    return reinterpret_cast<sockaddr*>(&storage);
+  }
+};
+
+Addr to_addr(const Endpoint& ep) {
+  Addr a;
+  if (ep.kind == Endpoint::Kind::Unix) {
+    auto* sun = reinterpret_cast<sockaddr_un*>(&a.storage);
+    sun->sun_family = AF_UNIX;
+    PDSLIN_CHECK_MSG(ep.path.size() < sizeof(sun->sun_path),
+                     "unix socket path too long: " + ep.path);
+    std::memcpy(sun->sun_path, ep.path.c_str(), ep.path.size() + 1);
+    a.len = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) +
+                                   ep.path.size() + 1);
+  } else {
+    auto* sin = reinterpret_cast<sockaddr_in*>(&a.storage);
+    sin->sin_family = AF_INET;
+    sin->sin_port = htons(static_cast<std::uint16_t>(ep.port));
+    if (inet_pton(AF_INET, ep.host.c_str(), &sin->sin_addr) != 1) {
+      // Resolve a hostname (numeric fast path failed).
+      addrinfo hints{};
+      hints.ai_family = AF_INET;
+      hints.ai_socktype = SOCK_STREAM;
+      addrinfo* res = nullptr;
+      if (getaddrinfo(ep.host.c_str(), nullptr, &hints, &res) != 0 || !res) {
+        throw Error("fleet: cannot resolve host " + ep.host);
+      }
+      sin->sin_addr = reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+      freeaddrinfo(res);
+    }
+    a.len = sizeof(sockaddr_in);
+  }
+  return a;
+}
+
+int make_socket(const Endpoint& ep) {
+  const int domain = ep.kind == Endpoint::Kind::Unix ? AF_UNIX : AF_INET;
+  const int fd = ::socket(domain, SOCK_STREAM, 0);
+  PDSLIN_CHECK_MSG(fd >= 0, "fleet: socket() failed");
+  if (ep.kind == Endpoint::Kind::Tcp) {
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return fd;
+}
+
+}  // namespace
+
+Endpoint Endpoint::parse(const std::string& spec) {
+  Endpoint ep;
+  if (spec.rfind("unix:", 0) == 0) {
+    ep.kind = Kind::Unix;
+    ep.path = spec.substr(5);
+    PDSLIN_CHECK_MSG(!ep.path.empty(), "fleet: empty unix socket path");
+    return ep;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    ep.kind = Kind::Tcp;
+    const std::string rest = spec.substr(4);
+    const auto colon = rest.rfind(':');
+    PDSLIN_CHECK_MSG(colon != std::string::npos && colon + 1 < rest.size(),
+                     "fleet: tcp endpoint needs host:port, got " + spec);
+    ep.host = rest.substr(0, colon);
+    if (ep.host.empty()) ep.host = "127.0.0.1";
+    // Strict digits: atoi would silently read a typo'd port as 0, and port
+    // 0 means "kernel picks" — a misconfiguration must be loud instead.
+    const std::string port_str = rest.substr(colon + 1);
+    bool digits = !port_str.empty();
+    for (char c : port_str) digits = digits && c >= '0' && c <= '9';
+    PDSLIN_CHECK_MSG(digits && port_str.size() <= 5,
+                     "fleet: bad tcp port in " + spec);
+    ep.port = std::atoi(port_str.c_str());
+    PDSLIN_CHECK_MSG(ep.port < 65536, "fleet: bad tcp port in " + spec);
+    return ep;
+  }
+  throw Error("fleet: endpoint must start with unix: or tcp:, got " + spec);
+}
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::Unix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::shutdown_read() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+Socket listen_on(const Endpoint& ep, int backlog) {
+  if (ep.kind == Endpoint::Kind::Unix) ::unlink(ep.path.c_str());
+  Socket s(make_socket(ep));
+  if (ep.kind == Endpoint::Kind::Tcp) {
+    int one = 1;
+    ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  }
+  const Addr a = to_addr(ep);
+  PDSLIN_CHECK_MSG(::bind(s.fd(), a.sa(), a.len) == 0,
+                   "fleet: bind failed on " + ep.to_string() + " (" +
+                       std::strerror(errno) + ")");
+  PDSLIN_CHECK_MSG(::listen(s.fd(), backlog) == 0,
+                   "fleet: listen failed on " + ep.to_string());
+  return s;
+}
+
+Endpoint local_endpoint(const Socket& listener, const Endpoint& requested) {
+  Endpoint ep = requested;
+  if (ep.kind == Endpoint::Kind::Tcp) {
+    sockaddr_in sin{};
+    socklen_t len = sizeof(sin);
+    if (::getsockname(listener.fd(), reinterpret_cast<sockaddr*>(&sin),
+                      &len) == 0) {
+      ep.port = ntohs(sin.sin_port);
+    }
+  }
+  return ep;
+}
+
+Socket accept_on(const Socket& listener, int timeout_ms) {
+  pollfd pfd{listener.fd(), POLLIN, 0};
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc <= 0) return Socket{};  // timeout or error
+  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+  if (fd < 0) return Socket{};
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket(fd);
+}
+
+Socket connect_to(const Endpoint& ep, int timeout_ms) {
+  Addr a;
+  try {
+    a = to_addr(ep);
+  } catch (const Error&) {
+    return Socket{};  // unresolvable host — a health signal, not a crash
+  }
+  Socket s(make_socket(ep));
+  const int flags = ::fcntl(s.fd(), F_GETFL, 0);
+  ::fcntl(s.fd(), F_SETFL, flags | O_NONBLOCK);
+  const int rc = ::connect(s.fd(), a.sa(), a.len);
+  if (rc != 0) {
+    if (errno != EINPROGRESS) return Socket{};
+    pollfd pfd{s.fd(), POLLOUT, 0};
+    if (::poll(&pfd, 1, timeout_ms) <= 0) return Socket{};
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(s.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      return Socket{};
+    }
+  }
+  ::fcntl(s.fd(), F_SETFL, flags);  // back to blocking
+  return s;
+}
+
+bool write_all(int fd, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+int read_exact(int fd, void* data, std::size_t len) {
+  auto* p = static_cast<unsigned char*>(data);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::read(fd, p + got, len - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (n == 0) return got == 0 ? 0 : -1;  // EOF mid-buffer is an error
+    got += static_cast<std::size_t>(n);
+  }
+  return 1;
+}
+
+int read_exact_timeout(int fd, void* data, std::size_t len, int timeout_ms) {
+  auto* p = static_cast<unsigned char*>(data);
+  std::size_t got = 0;
+  while (got < len) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc == 0) return -2;
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    const ssize_t n = ::read(fd, p + got, len - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (n == 0) return got == 0 ? 0 : -1;
+    got += static_cast<std::size_t>(n);
+  }
+  return 1;
+}
+
+}  // namespace pdslin::fleet

@@ -1,0 +1,84 @@
+// Minimal POSIX socket layer for the solve fleet: Unix-domain and TCP
+// endpoints, RAII fd ownership, timeout-bounded connect/accept, and
+// exact-count I/O. This is the only file in the library that talks to the
+// BSD socket API; wire.cpp frames bytes on top of it and everything above
+// (worker, router) deals in frames only.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace pdslin::fleet {
+
+/// Parsed endpoint. Canonical specs:
+///   "unix:/path/to.sock"      — Unix-domain stream socket
+///   "tcp:host:port"           — TCP (host may be a dotted quad or name)
+/// parse() throws pdslin::Error on a malformed spec. TCP port 0 asks the
+/// kernel for an ephemeral port; local_endpoint() reads the real one back.
+struct Endpoint {
+  enum class Kind { Unix, Tcp };
+  Kind kind = Kind::Unix;
+  std::string path;  // Unix
+  std::string host;  // TCP
+  int port = 0;      // TCP
+
+  static Endpoint parse(const std::string& spec);
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Move-only owned file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  /// Idempotent close.
+  void close();
+  /// shutdown(SHUT_RDWR): wakes any thread blocked in read()/accept() on
+  /// this fd — the clean way to stop a reader loop from another thread.
+  void shutdown_both();
+  /// shutdown(SHUT_RD) only: the reader loop sees EOF after the current
+  /// frame while the write side stays open for draining responses — the
+  /// worker's SIGTERM path.
+  void shutdown_read();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bind + listen. For Unix endpoints a stale socket file is unlinked first.
+/// Throws pdslin::Error on failure.
+Socket listen_on(const Endpoint& ep, int backlog = 64);
+
+/// The listener's actual local endpoint (resolves TCP port 0).
+Endpoint local_endpoint(const Socket& listener, const Endpoint& requested);
+
+/// Accept one connection, waiting at most timeout_ms (< 0 = block forever).
+/// Returns an invalid Socket on timeout or when the listener was shut down.
+Socket accept_on(const Socket& listener, int timeout_ms);
+
+/// Connect with a bounded wait. Returns an invalid Socket on timeout,
+/// refusal, or unreachable endpoint (never throws for those — the router
+/// treats them as shard-health signals).
+Socket connect_to(const Endpoint& ep, int timeout_ms);
+
+/// Write exactly len bytes (retrying short writes, ignoring SIGPIPE).
+/// Returns false on a broken/reset connection.
+bool write_all(int fd, const void* data, std::size_t len);
+
+/// Read exactly len bytes. Returns 1 on success, 0 on clean EOF before the
+/// first byte, -1 on error or EOF mid-buffer.
+int read_exact(int fd, void* data, std::size_t len);
+
+/// Bounded-wait variant of read_exact: waits at most timeout_ms for *each*
+/// poll readiness. Returns 1/0/-1 as read_exact, or -2 on timeout.
+int read_exact_timeout(int fd, void* data, std::size_t len, int timeout_ms);
+
+}  // namespace pdslin::fleet

@@ -1,0 +1,260 @@
+#include "fleet/worker.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
+
+namespace pdslin::fleet {
+
+/// One accepted connection: the reader decodes and submits, the writer
+/// answers pending solves in FIFO order. Direct (non-solve) replies — Pong,
+/// Error — are written from the reader under the same write mutex, so
+/// frames never interleave mid-frame.
+struct FleetWorker::Connection {
+  Socket sock;
+  std::mutex write_mu;
+
+  std::mutex mu;  // guards pending / reader_done below
+  std::condition_variable cv;
+  struct PendingResponse {
+    std::uint64_t request_id = 0;
+    std::future<serve::SolveResponse> future;
+    bool shutdown_ack = false;  // sentinel: write ShutdownAck, then exit
+  };
+  std::deque<PendingResponse> pending;
+  bool reader_done = false;
+
+  std::thread reader;
+  std::thread writer;
+};
+
+FleetWorker::FleetWorker(FleetWorkerConfig cfg)
+    : cfg_(std::move(cfg)), endpoint_(cfg_.endpoint) {}
+
+FleetWorker::~FleetWorker() { stop(); }
+
+void FleetWorker::start() {
+  service_ = std::make_unique<serve::SolveService>(cfg_.service);
+  listener_ = listen_on(cfg_.endpoint);
+  endpoint_ = local_endpoint(listener_, cfg_.endpoint);
+  accept_thread_ = std::thread([this] {
+    obs::label_this_thread("fleet-accept");
+    accept_loop();
+  });
+  log_info("fleet worker listening on ", endpoint_.to_string());
+}
+
+void FleetWorker::accept_loop() {
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    Socket s = accept_on(listener_, cfg_.accept_poll_ms);
+    if (!s.valid()) continue;  // poll timeout (or listener shut down)
+    obs::counter("fleet.worker.connections").add();
+    auto conn = std::make_shared<Connection>();
+    conn->sock = std::move(s);
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(conn);
+    }
+    conn->reader = std::thread([this, conn] {
+      obs::label_this_thread("fleet-read");
+      reader_loop(conn);
+    });
+    conn->writer = std::thread([this, conn] {
+      obs::label_this_thread("fleet-write");
+      writer_loop(conn);
+    });
+  }
+}
+
+void FleetWorker::reader_loop(const std::shared_ptr<Connection>& conn) {
+  bool shutdown_frame = false;
+  for (;;) {
+    Frame frame;
+    int rc = 0;
+    try {
+      rc = read_frame(conn->sock.fd(), frame);
+    } catch (const WireError& e) {
+      // Malformed frame: the stream may be desynchronized — answer with a
+      // structured Error frame (best effort) and drop the connection.
+      obs::counter("fleet.worker.decode_errors").add();
+      log_warn("fleet worker: ", e.what(), " — closing connection");
+      const std::string detail = e.what();
+      std::lock_guard<std::mutex> wlock(conn->write_mu);
+      (void)write_frame(
+          conn->sock.fd(), FrameType::Error, 0,
+          std::span<const std::uint8_t>(
+              reinterpret_cast<const std::uint8_t*>(detail.data()),
+              detail.size()));
+      break;
+    }
+    if (rc <= 0) break;  // EOF or broken connection
+    obs::counter("fleet.worker.frames_in").add();
+
+    switch (frame.type) {
+      case FrameType::SolveRequest: {
+        serve::SolveRequest req;
+        std::uint64_t id = frame.request_id;
+        try {
+          WireSolveRequest wire = decode_solve_request(frame.payload);
+          req.a = std::make_shared<const CsrMatrix>(std::move(wire.a));
+          if (wire.incidence.rows > 0) {
+            req.incidence =
+                std::make_shared<const CsrMatrix>(std::move(wire.incidence));
+          }
+          req.b = std::move(wire.b);
+          req.nrhs = wire.nrhs;
+          req.opt = wire.opt;
+          req.timeout_seconds = wire.timeout_seconds;
+        } catch (const WireError& e) {
+          obs::counter("fleet.worker.decode_errors").add();
+          const std::string detail = e.what();
+          std::lock_guard<std::mutex> wlock(conn->write_mu);
+          (void)write_frame(
+              conn->sock.fd(), FrameType::Error, id,
+              std::span<const std::uint8_t>(
+                  reinterpret_cast<const std::uint8_t*>(detail.data()),
+                  detail.size()));
+          continue;
+        }
+        Connection::PendingResponse pr;
+        pr.request_id = id;
+        pr.future = service_->submit(std::move(req));
+        {
+          std::lock_guard<std::mutex> lock(conn->mu);
+          conn->pending.push_back(std::move(pr));
+        }
+        conn->cv.notify_one();
+        break;
+      }
+      case FrameType::Ping: {
+        const std::vector<std::uint8_t> payload =
+            encode_shard_stats(stats_snapshot());
+        std::lock_guard<std::mutex> wlock(conn->write_mu);
+        if (write_frame(conn->sock.fd(), FrameType::Pong, frame.request_id,
+                        payload)) {
+          obs::counter("fleet.worker.frames_out").add();
+        }
+        break;
+      }
+      case FrameType::Shutdown: {
+        shutdown_frame = true;
+        break;
+      }
+      default: {
+        const std::string detail =
+            std::string("unexpected frame type ") + to_string(frame.type);
+        std::lock_guard<std::mutex> wlock(conn->write_mu);
+        (void)write_frame(
+            conn->sock.fd(), FrameType::Error, frame.request_id,
+            std::span<const std::uint8_t>(
+                reinterpret_cast<const std::uint8_t*>(detail.data()),
+                detail.size()));
+        break;
+      }
+    }
+    if (shutdown_frame) break;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->reader_done = true;
+    if (shutdown_frame) {
+      Connection::PendingResponse ack;
+      ack.shutdown_ack = true;
+      conn->pending.push_back(std::move(ack));
+    }
+  }
+  conn->cv.notify_all();
+  // A Shutdown frame addressed to this worker stops the whole process, not
+  // just this connection — after the ack drains (writer handles that).
+  if (shutdown_frame) stop_requested_.store(true, std::memory_order_relaxed);
+}
+
+void FleetWorker::writer_loop(const std::shared_ptr<Connection>& conn) {
+  for (;;) {
+    Connection::PendingResponse pr;
+    {
+      std::unique_lock<std::mutex> lock(conn->mu);
+      conn->cv.wait(lock, [&] {
+        return !conn->pending.empty() || conn->reader_done;
+      });
+      if (conn->pending.empty()) break;  // reader done, everything drained
+      pr = std::move(conn->pending.front());
+      conn->pending.pop_front();
+    }
+    if (pr.shutdown_ack) {
+      std::lock_guard<std::mutex> wlock(conn->write_mu);
+      (void)write_frame(conn->sock.fd(), FrameType::ShutdownAck, 0);
+      break;
+    }
+    // The service always satisfies its futures (the drain contract), so
+    // this wait terminates even mid-shutdown.
+    serve::SolveResponse resp = pr.future.get();
+    const std::vector<std::uint8_t> payload = encode_solve_response(resp);
+    std::lock_guard<std::mutex> wlock(conn->write_mu);
+    if (write_frame(conn->sock.fd(), FrameType::SolveResponse, pr.request_id,
+                    payload)) {
+      obs::counter("fleet.worker.frames_out").add();
+    }
+    // Write failure: the client is gone; keep draining futures so stop()
+    // never wedges on an abandoned connection.
+  }
+}
+
+void FleetWorker::stop() {
+  if (stopped_.exchange(true)) return;
+  stop_requested_.store(true, std::memory_order_relaxed);
+  if (accept_thread_.joinable()) {
+    listener_.shutdown_both();
+    accept_thread_.join();
+  }
+  listener_.close();
+
+  // Half-close read sides: readers finish their current frame and exit; the
+  // write sides stay open so every accepted solve still gets its response.
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& c : conns) c->sock.shutdown_read();
+  // Finish every accepted request (reject-new, finish-queued).
+  if (service_) service_->stop();
+  for (auto& c : conns) {
+    if (c->reader.joinable()) c->reader.join();
+    if (c->writer.joinable()) c->writer.join();
+    c->sock.close();
+  }
+  log_info("fleet worker on ", endpoint_.to_string(), " drained and stopped");
+}
+
+WireShardStats FleetWorker::stats_snapshot() const {
+  WireShardStats s;
+  if (!service_) return s;
+  const serve::ServiceStats st = service_->stats();
+  const serve::FactorCacheStats cs = service_->cache().stats();
+  s.accepted = st.accepted;
+  s.completed = st.completed;
+  s.ok = st.ok;
+  s.degraded = st.degraded;
+  s.failed = st.failed;
+  s.timeouts = st.timeouts;
+  s.rejected = st.rejected;
+  s.batches = st.batches;
+  s.setups_built = st.setups_built;
+  s.cache_hits = cs.hits;
+  s.cache_misses = cs.misses;
+  s.cache_symbolic_hits = cs.symbolic_hits;
+  s.cache_evictions = cs.evictions;
+  s.cache_bytes = cs.bytes;
+  s.cache_entries = cs.entries;
+  s.in_flight = st.accepted - st.completed;
+  s.draining = stop_requested_.load(std::memory_order_relaxed) ? 1 : 0;
+  return s;
+}
+
+}  // namespace pdslin::fleet

@@ -1,0 +1,88 @@
+// Fleet worker: one process-worth of the solve fleet. Wraps the in-process
+// SolveService (src/serve) behind a socket accept loop speaking the binary
+// wire protocol (fleet/wire.hpp), so N workers — each owning a disjoint hot
+// slice of the factor-cache key space — form the outer tier of the paper's
+// hierarchical parallelism as a serving architecture.
+//
+// Connection model: one reader thread and one writer thread per accepted
+// connection. The reader decodes frames and submits solves to the service
+// (responses may therefore pipeline: many solves in flight per connection);
+// the writer answers them in submission order, carrying each frame's
+// request_id so the router can demultiplex out-of-order completion across
+// connections. Pings are answered immediately from the reader (never queued
+// behind a long solve), so heartbeat latency measures liveness, not load.
+//
+// Shutdown (stop(), the SIGTERM path of tools/pdslin_worker): stop
+// accepting, half-close every connection's read side (clients see EOF, no
+// new frames decode), let the service finish every accepted request
+// (SolveService::stop() drains deterministically), write the remaining
+// responses, then close. Nothing accepted is ever dropped.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "fleet/socket.hpp"
+#include "fleet/wire.hpp"
+#include "serve/service.hpp"
+
+namespace pdslin::fleet {
+
+struct FleetWorkerConfig {
+  Endpoint endpoint;  // where to listen (unix: or tcp:)
+  serve::ServiceConfig service;
+  /// Accept-loop poll period: the stop() latency ceiling while idle.
+  int accept_poll_ms = 100;
+};
+
+class FleetWorker {
+ public:
+  explicit FleetWorker(FleetWorkerConfig cfg);
+  ~FleetWorker();
+
+  FleetWorker(const FleetWorker&) = delete;
+  FleetWorker& operator=(const FleetWorker&) = delete;
+
+  /// Bind + listen + spawn the accept thread. Throws pdslin::Error when the
+  /// endpoint cannot be bound.
+  void start();
+
+  /// The endpoint actually bound (resolves TCP port 0 to the real port).
+  [[nodiscard]] const Endpoint& endpoint() const { return endpoint_; }
+
+  /// Drain-and-stop; see the header comment. Idempotent and thread-safe.
+  void stop();
+
+  /// True once stop() was requested (by a Shutdown frame or directly).
+  [[nodiscard]] bool stop_requested() const {
+    return stop_requested_.load(std::memory_order_relaxed);
+  }
+
+  /// Health/telemetry snapshot — the Pong payload.
+  [[nodiscard]] WireShardStats stats_snapshot() const;
+
+  [[nodiscard]] serve::SolveService& service() { return *service_; }
+
+ private:
+  struct Connection;
+
+  void accept_loop();
+  void reader_loop(const std::shared_ptr<Connection>& conn);
+  void writer_loop(const std::shared_ptr<Connection>& conn);
+
+  FleetWorkerConfig cfg_;
+  Endpoint endpoint_;
+  std::unique_ptr<serve::SolveService> service_;
+  Socket listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> stopped_{false};
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+};
+
+}  // namespace pdslin::fleet

@@ -57,17 +57,27 @@ SolveService::SolveService(ServiceConfig cfg)
 SolveService::~SolveService() { stop(); }
 
 void SolveService::stop() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (joined_) return;
-    stopping_ = true;
+  // Drain contract (pinned by ServeService.StopDrainsQueuedRequests):
+  // reject-new (submit() under the same lock sees stopping_ first), then
+  // finish-queued — the dispatcher keeps forming batches until the queue is
+  // empty, and we wait for every in-flight batch. Exactly one caller joins
+  // the dispatcher; concurrent callers (destructor racing a SIGTERM
+  // handler's explicit stop()) block until the drain is complete instead of
+  // double-joining the thread.
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopping_) {
+    cv_slot_.wait(lock, [&] { return joined_; });
+    return;
   }
+  stopping_ = true;
+  lock.unlock();
   cv_queue_.notify_all();
   dispatcher_.join();
   // The dispatcher drained the queue; wait for in-flight batches.
-  std::unique_lock<std::mutex> lock(mu_);
+  lock.lock();
   cv_slot_.wait(lock, [&] { return active_batches_ == 0; });
   joined_ = true;
+  cv_slot_.notify_all();
 }
 
 std::future<SolveResponse> SolveService::submit(SolveRequest req) {

@@ -88,8 +88,12 @@ class SolveService {
   /// submit() + wait.
   SolveResponse solve(SolveRequest req);
 
-  /// Finish accepted work, then stop; later submits are Rejected.
-  /// Idempotent. The destructor calls it.
+  /// Deterministic drain: submits after this call (even from other threads
+  /// already racing it) are Rejected, every request accepted before it is
+  /// executed to a terminal status, and stop() returns only once all of
+  /// them have been answered. Safe to call from any number of threads
+  /// concurrently — one caller drains, the rest block until it is done.
+  /// The destructor calls it; the fleet worker's SIGTERM path relies on it.
   void stop();
 
   [[nodiscard]] ServiceStats stats() const;

@@ -5,10 +5,13 @@
 // (Ok / Degraded / Timeout / Rejected / Failed) with queue draining.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstring>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -114,6 +117,76 @@ TEST(ServeFingerprint, SymbolicKeyDropsValues) {
   const SetupKey kb{serve::fingerprint_of(b), serve::setup_options_hash(opt)};
   EXPECT_NE(ka, kb);
   EXPECT_EQ(ka.symbolic(), kb.symbolic());
+}
+
+TEST(ServeFingerprint, BytesAndHexRoundTrip) {
+  std::vector<Fingerprint> cases = {
+      {0, 0},
+      {1, 0},
+      {0, 1},
+      {0xffffffffffffffffull, 0xffffffffffffffffull},
+      {0x0123456789abcdefull, 0xfedcba9876543210ull},
+      {0x8000000000000000ull, 0x0000000000000001ull},
+      serve::fingerprint_of(testing::grid_laplacian(8, 8)),
+      serve::fingerprint_of(testing::grid_laplacian(9, 5)),
+  };
+  Rng rng(123);
+  for (int i = 0; i < 256; ++i) cases.push_back({rng.next(), rng.next()});
+
+  for (const Fingerprint& fp : cases) {
+    // Byte layout is pinned: each half little-endian, structure first.
+    const auto bytes = fp.to_bytes();
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_EQ(bytes[i], static_cast<std::uint8_t>(fp.structure >> (8 * i)));
+      EXPECT_EQ(bytes[8 + i], static_cast<std::uint8_t>(fp.values >> (8 * i)));
+    }
+    EXPECT_EQ(Fingerprint::from_bytes(bytes), fp);
+
+    const std::string hex = fp.to_hex();
+    ASSERT_EQ(hex.size(), 32u);
+    for (char c : hex) {
+      EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << hex;
+    }
+    ASSERT_TRUE(Fingerprint::from_hex(hex).has_value());
+    EXPECT_EQ(*Fingerprint::from_hex(hex), fp);
+
+    // Uppercase digits are accepted on input (output stays lowercase).
+    std::string upper = hex;
+    for (char& c : upper) c = static_cast<char>(std::toupper(c));
+    ASSERT_TRUE(Fingerprint::from_hex(upper).has_value());
+    EXPECT_EQ(*Fingerprint::from_hex(upper), fp);
+
+    // The human-facing to_string() rendering parses to the same value.
+    ASSERT_TRUE(Fingerprint::from_hex(fp.to_string()).has_value());
+    EXPECT_EQ(*Fingerprint::from_hex(fp.to_string()), fp);
+  }
+}
+
+TEST(ServeFingerprint, FromHexRejectsMalformed) {
+  const Fingerprint fp{0x0123456789abcdefull, 0xfedcba9876543210ull};
+  const std::string hex = fp.to_hex();          // 32 chars
+  const std::string colon = fp.to_string();     // 33 chars, ':' at 16
+
+  EXPECT_FALSE(Fingerprint::from_hex("").has_value());
+  EXPECT_FALSE(Fingerprint::from_hex(hex.substr(1)).has_value());   // 31
+  EXPECT_FALSE(Fingerprint::from_hex(hex + "0").has_value());       // 33
+  EXPECT_FALSE(Fingerprint::from_hex(hex + "00").has_value());      // 34
+
+  std::string bad = hex;
+  bad[7] = 'g';  // non-hex digit
+  EXPECT_FALSE(Fingerprint::from_hex(bad).has_value());
+
+  std::string dash = colon;
+  dash[16] = '-';  // separator must be ':'
+  EXPECT_FALSE(Fingerprint::from_hex(dash).has_value());
+
+  std::string shifted = colon;
+  std::swap(shifted[15], shifted[16]);  // misplaced separator
+  EXPECT_FALSE(Fingerprint::from_hex(shifted).has_value());
+
+  std::string bad_colon = colon;
+  bad_colon[3] = 'z';
+  EXPECT_FALSE(Fingerprint::from_hex(bad_colon).has_value());
 }
 
 // --------------------------------------------------------------- factor cache
@@ -244,6 +317,130 @@ TEST(ServeFactorCache, PartitionSurvivesNumericEviction) {
   ASSERT_TRUE(fresh.solve(b, xf).converged);
   EXPECT_EQ(0, std::memcmp(x.data(), xf.data(), x.size() * sizeof(value_t)))
       << "symbolic reuse changed the numerics";
+}
+
+TEST(ServeFactorCache, AdoptedPartitionChargedFullBytes) {
+  // Regression: an entry built through the symbolic-reuse path
+  // (adopt_partition + factor) must be byte-charged exactly like a cold
+  // setup — the adopted partition skips the partitioner, not the factors,
+  // so an undercharge here would let the cache blow its byte budget.
+  const SolverOptions opt = small_options();
+  const CsrMatrix a = testing::grid_laplacian(12, 12);
+  auto cold = make_setup(a, opt);
+
+  FactorCache cache;
+  ASSERT_TRUE(cache.insert(cold));
+
+  // Same pattern, uniformly scaled values: same symbolic class, same pivot
+  // choices, hence an identical structural footprint.
+  CsrMatrix a2 = a;
+  for (auto& v : a2.values) v *= 1.0 + 1e-6;
+  const SetupKey k2{serve::fingerprint_of(a2), serve::setup_options_hash(opt)};
+  const auto part = cache.find_partition(k2);
+  ASSERT_NE(part, nullptr);
+
+  auto solver = std::make_shared<SchurSolver>(a2, opt);
+  solver->adopt_partition(*part);
+  solver->factor();
+  auto adopted = std::make_shared<CachedSetup>(
+      k2, std::shared_ptr<const SchurSolver>(solver));
+
+  EXPECT_EQ(adopted->bytes(), solver->memory_bytes());
+  EXPECT_GT(adopted->bytes(), 0u);
+  EXPECT_EQ(adopted->bytes(), cold->bytes())
+      << "adopt_partition path accounted a different footprint than setup()";
+
+  const std::size_t bytes_before = cache.stats().bytes;
+  ASSERT_TRUE(cache.insert(adopted));
+  EXPECT_EQ(cache.stats().bytes, bytes_before + adopted->bytes());
+  EXPECT_EQ(cache.stats().entries, 2u);
+
+  // Evicting the adopted entry refunds exactly what it was charged. Drop
+  // the first cache's reference first — a pinned entry is never evicted.
+  cache.clear();
+  auto s3 = make_setup(testing::grid_laplacian(13, 13), opt);
+  FactorCacheConfig tight;
+  tight.capacity_bytes = adopted->bytes() + s3->bytes() - 1;
+  FactorCache small(tight);
+  ASSERT_TRUE(small.insert(adopted));
+  adopted.reset();  // unpin
+  ASSERT_TRUE(small.insert(s3));
+  EXPECT_EQ(small.stats().bytes, s3->bytes());
+  EXPECT_EQ(small.stats().entries, 1u);
+}
+
+TEST(ServeFactorCache, EvictionRacesInFlightPinning) {
+  // Many threads hammer one small cache: finders pin entries (shared_ptr)
+  // and use the solver while inserters force continual eviction pressure.
+  // Pinned entries must never be evicted out from under a solve, and the
+  // byte accounting must balance once the storm passes. Runs under the
+  // serve TSan label.
+  const SolverOptions opt = small_options();
+  std::vector<CsrMatrix> mats;
+  std::vector<std::shared_ptr<const SchurSolver>> solvers;
+  std::vector<SetupKey> keys;
+  for (index_t i = 0; i < 4; ++i) {
+    mats.push_back(testing::grid_laplacian(10 + i, 10 + i));
+    auto solver = std::make_shared<SchurSolver>(mats.back(), opt);
+    solver->setup();
+    solver->factor();
+    keys.push_back(SetupKey{serve::fingerprint_of(mats.back()),
+                            serve::setup_options_hash(opt)});
+    solvers.push_back(std::move(solver));
+  }
+
+  FactorCacheConfig cfg;
+  // Room for roughly two entries: every insert beyond that must evict.
+  cfg.capacity_bytes =
+      solvers[2]->memory_bytes() + solvers[3]->memory_bytes();
+  FactorCache cache(cfg);
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::atomic<int> pinned_uses{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<std::uint64_t>(1000 + t));
+      for (int i = 0; i < kIters; ++i) {
+        const std::size_t j =
+            static_cast<std::size_t>(rng.bounded(keys.size()));
+        if (t % 2 == 0) {
+          // Inserter: a fresh wrapper each round (only the cache and any
+          // in-flight finder hold it), so eviction pressure is real.
+          (void)cache.insert(
+              std::make_shared<CachedSetup>(keys[j], solvers[j]));
+        } else {
+          // Finder: pin an entry and actually use it across the race
+          // window — an eviction that freed it would explode here.
+          if (auto hit = cache.find(keys[j])) {
+            auto ctx = hit->take_context();
+            const auto b =
+                random_rhs(mats[j].rows, static_cast<std::uint64_t>(i));
+            std::vector<value_t> x(mats[j].rows, 0.0);
+            (void)hit->solver().solve(b, x, *ctx);
+            hit->return_context(std::move(ctx));
+            pinned_uses.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_GT(pinned_uses.load(), 0) << "stress never exercised a pinned hit";
+
+  const auto st = cache.stats();
+  EXPECT_LE(st.entries, 4u);
+  EXPECT_GT(st.evictions, 0);
+  // Byte ledger balances: what remains is exactly the sum of live entries.
+  std::size_t live = 0;
+  for (const SetupKey& k : keys) {
+    if (const auto hit = cache.find(k)) live += hit->bytes();
+  }
+  EXPECT_EQ(cache.stats().bytes, live);
+  cache.clear();
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
 }
 
 // ------------------------------------------------ const-solver concurrency
@@ -511,6 +708,48 @@ TEST(ServeService, BatchedAnswersMatchIndividualSolves) {
                              r.x.size() * sizeof(value_t)))
         << "batched answer differs from the individually-solved answer";
   }
+}
+
+TEST(ServeService, StopDrainsQueuedDeterministically) {
+  // The drain contract (relied on by the fleet worker's SIGTERM path):
+  // stop() rejects new submits, finishes everything already accepted, and
+  // returns only once every accepted request has been answered — from any
+  // number of racing callers.
+  auto big = std::make_shared<const CsrMatrix>(testing::grid_laplacian(40, 40));
+  auto a = std::make_shared<const CsrMatrix>(testing::grid_laplacian(12, 12));
+  const SolverOptions opt = small_options();
+  serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  SolveService service(cfg);
+
+  // Occupy the single worker slot, then park three requests in the queue.
+  auto blocker = dispatch_blocker(service, big, opt);
+  std::vector<std::future<serve::SolveResponse>> queued;
+  for (int i = 0; i < 3; ++i) {
+    queued.push_back(service.submit(make_request(a, opt, 1, 70 + i)));
+  }
+
+  // Several threads race stop(); one drains, the rest block until done.
+  std::vector<std::thread> stoppers;
+  for (int t = 0; t < 3; ++t) stoppers.emplace_back([&] { service.stop(); });
+  for (auto& th : stoppers) th.join();
+
+  // Everything accepted before stop() is already answered — no waiting.
+  ASSERT_EQ(blocker.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(blocker.get().status, ServeStatus::Ok);
+  for (auto& f : queued) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready)
+        << "stop() returned before a queued request was answered";
+    EXPECT_EQ(f.get().status, ServeStatus::Ok)
+        << "queued request must be finished, not dropped";
+  }
+  EXPECT_GE(service.stats().completed, 4);
+
+  // Submits after (or racing past) the drain are structurally Rejected.
+  const auto late = service.solve(make_request(a, opt, 1, 79));
+  EXPECT_EQ(late.status, ServeStatus::Rejected);
+  EXPECT_EQ(service.stats().completed, 4) << "late submit must not execute";
 }
 
 }  // namespace

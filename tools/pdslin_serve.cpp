@@ -236,6 +236,7 @@ int main(int argc, char** argv) {
   struct Prepared {
     serve::SolveRequest req;
     std::string matrix;
+    std::string fp_hex;  // canonical hex of the request's matrix fingerprint
   };
   std::vector<Prepared> prepared;
   Rng rhs_rng(977);
@@ -255,6 +256,7 @@ int main(int argc, char** argv) {
       p.req.b.resize(static_cast<std::size_t>(base.a->rows) *
                      static_cast<std::size_t>(e.nrhs));
       for (value_t& v : p.req.b) v = rhs_rng.uniform(-1.0, 1.0);
+      p.fp_hex = serve::fingerprint_of(*p.req.a).to_hex();
       prepared.push_back(std::move(p));
     }
   }
@@ -284,13 +286,19 @@ int main(int argc, char** argv) {
     latencies.reserve(futures.size());
     long long by_status[5] = {0, 0, 0, 0, 0};
     long long hits = 0, symbolic = 0;
-    for (std::future<serve::SolveResponse>& f : futures) {
-      const serve::SolveResponse resp = f.get();
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const serve::SolveResponse resp = futures[i].get();
       by_status[static_cast<int>(resp.status)]++;
       if (resp.cache_hit) ++hits;
       if (resp.symbolic_reuse) ++symbolic;
       latencies.push_back(resp.queue_seconds + resp.setup_seconds +
                           resp.solve_seconds);
+      // Workload log line keyed by the canonical fingerprint hex — grep one
+      // fingerprint to follow one matrix class through the cache ladder.
+      log_info("request ", i, " fp=", prepared[i].fp_hex, " matrix=",
+               prepared[i].matrix, " status=", serve::to_string(resp.status),
+               resp.cache_hit ? " hit" : (resp.symbolic_reuse ? " symbolic"
+                                                              : " cold"));
     }
     const double seconds = wall.seconds();
     const serve::ServiceStats st = service.stats();
