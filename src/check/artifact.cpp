@@ -34,7 +34,9 @@ std::string artifact_to_json(const CaseSpec& spec, const CheckReport* report) {
      << "    \"serve\": " << (spec.serve ? "true" : "false") << ",\n"
      << "    \"lu_kernel\": \"" << to_string(spec.lu_kernel) << "\",\n"
      << "    \"levelset_trisolve\": "
-     << (spec.levelset_trisolve ? "true" : "false") << "\n"
+     << (spec.levelset_trisolve ? "true" : "false") << ",\n"
+     << "    \"partition_engine\": \"" << to_string(spec.partition_engine)
+     << "\"\n"
      << "  }";
   if (report != nullptr && !report->ok()) {
     os << ",\n  \"violations\": [\n";
@@ -98,6 +100,14 @@ CaseSpec artifact_from_json(std::string_view text) {
   // those ran the (then-only) serial engine, which the default reproduces.
   if (const obsjson::Value* ts = s.find("levelset_trisolve")) {
     spec.levelset_trisolve = ts->boolean;
+  }
+  // Optional for corpus files written before the partition-engine axis
+  // existed; those ran the (then-only) serial multilevel engine.
+  if (const obsjson::Value* pe = s.find("partition_engine")) {
+    PDSLIN_CHECK_MSG(
+        pe->is_string() &&
+            partition_engine_from_string(pe->str, spec.partition_engine),
+        "unknown partition_engine in artifact");
   }
 
   PDSLIN_CHECK_MSG(spec.n >= 8 && spec.n <= 4096, "artifact n out of range");

@@ -228,11 +228,17 @@ DifferentialResult run_differential(const CaseSpec& spec,
   // the gather kernel's accumulation order must equal the serial scatter
   // even at one thread.
   if (opt.check_determinism &&
-      (spec.threads > 1 || spec.inner_threads > 1 || spec.levelset_trisolve)) {
+      (spec.threads > 1 || spec.inner_threads > 1 || spec.levelset_trisolve ||
+       spec.partition_engine == PartitionEngineAxis::ParallelMultilevel)) {
     CaseSpec serial = spec;
     serial.threads = 1;
     serial.inner_threads = 1;
     serial.levelset_trisolve = false;
+    // The parallel-partition lane reruns on the serial recursion: the
+    // engine's thread-count determinism contract, enforced end to end.
+    if (serial.partition_engine == PartitionEngineAxis::ParallelMultilevel) {
+      serial.partition_engine = PartitionEngineAxis::Multilevel;
+    }
     std::unique_ptr<SchurSolver> ssolver;
     std::vector<value_t> sx;
     std::vector<GmresResult> sresults;

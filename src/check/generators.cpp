@@ -128,6 +128,38 @@ bool lu_kernel_from_string(std::string_view name, LuKernelAxis& out) {
   return false;
 }
 
+namespace {
+
+constexpr struct {
+  PartitionEngineAxis e;
+  const char* name;
+} kPartitionEngines[] = {
+    {PartitionEngineAxis::Multilevel, "pe-multilevel"},
+    {PartitionEngineAxis::ParallelMultilevel, "pe-parallel"},
+    {PartitionEngineAxis::Geometric, "pe-geometric"},
+    {PartitionEngineAxis::BudgetZero, "pe-budget0"},
+};
+
+}  // namespace
+
+const char* to_string(PartitionEngineAxis e) {
+  for (const auto& entry : kPartitionEngines) {
+    if (entry.e == e) return entry.name;
+  }
+  return "?";
+}
+
+bool partition_engine_from_string(std::string_view name,
+                                  PartitionEngineAxis& out) {
+  for (const auto& entry : kPartitionEngines) {
+    if (name == entry.name) {
+      out = entry.e;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::string CaseSpec::to_string() const {
   std::ostringstream os;
   os << check::to_string(family) << "/n" << n << "/seed" << seed << "/"
@@ -136,6 +168,9 @@ std::string CaseSpec::to_string() const {
      << (krylov == KrylovMethod::Gmres ? "gmres" : "bicgstab") << "/"
      << (exact_assembly ? "exact" : "dropped") << "/"
      << check::to_string(lu_kernel) << (levelset_trisolve ? "/ts-level" : "")
+     << (partition_engine != PartitionEngineAxis::Multilevel
+             ? std::string("/") + check::to_string(partition_engine)
+             : "")
      << (serve ? "/serve" : "");
   return os.str();
 }
@@ -326,6 +361,23 @@ CaseSpec sample_case(std::uint64_t base_seed, int i) {
   // mod-3 kernel cycle), so every (config, kernel, scheduler) pair is hit
   // and the level-set lanes appear from the very first seeds.
   spec.levelset_trisolve = (c % 5u) >= 2;
+  // Partition engine cycles mod 7 (coprime with 64, 3 and 5): the default
+  // multilevel engine keeps the majority share, with the parallel,
+  // geometric-fallback and exhausted-budget lanes each sampled 1-in-7.
+  switch (c % 7u) {
+    case 4u:
+      spec.partition_engine = PartitionEngineAxis::ParallelMultilevel;
+      break;
+    case 5u:
+      spec.partition_engine = PartitionEngineAxis::Geometric;
+      break;
+    case 6u:
+      spec.partition_engine = PartitionEngineAxis::BudgetZero;
+      break;
+    default:
+      spec.partition_engine = PartitionEngineAxis::Multilevel;
+      break;
+  }
   return spec;
 }
 
@@ -352,6 +404,26 @@ SolverOptions solver_options_for(const CaseSpec& spec) {
   if (spec.levelset_trisolve) {
     opt.assembly.trisolve.scheduler = TrisolveScheduler::LevelSet;
     opt.assembly.trisolve.threads = std::max(1u, spec.inner_threads);
+  }
+  switch (spec.partition_engine) {
+    case PartitionEngineAxis::Multilevel:
+      opt.partition_engine = partition::Engine::Multilevel;
+      break;
+    case PartitionEngineAxis::ParallelMultilevel:
+      // Same engine — the parallel recursion is bitwise identical to serial
+      // by contract; forcing threads >= 4 actually spawns the subtrees.
+      opt.partition_engine = partition::Engine::Multilevel;
+      opt.threads = std::max(opt.threads, 4u);
+      break;
+    case PartitionEngineAxis::Geometric:
+      opt.partition_engine = partition::Engine::Geometric;
+      break;
+    case PartitionEngineAxis::BudgetZero:
+      // Exhausted-at-entry sentinel: deterministic full degradation without
+      // any clock reads (docs/PARTITION.md).
+      opt.partition_engine = partition::Engine::Multilevel;
+      opt.partition_budget_ms = -1.0;
+      break;
   }
   if (spec.exact_assembly) {
     opt.assembly.drop_wg = 0.0;

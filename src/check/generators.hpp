@@ -49,6 +49,23 @@ enum class LuKernelAxis {
 const char* to_string(LuKernelAxis k);
 bool lu_kernel_from_string(std::string_view name, LuKernelAxis& out);
 
+/// Partition-engine axis (src/partition/). Multilevel and ParallelMultilevel
+/// must agree bitwise (the engine's thread-count determinism contract; the
+/// differential runner's serial rerun enforces it end to end). Geometric
+/// routes through the coordinate/streaming fallback, BudgetZero through the
+/// exhausted-at-entry sentinel (partition_budget_ms = -1) — both change the
+/// partition but must still produce a valid pipeline.
+enum class PartitionEngineAxis {
+  Multilevel,          // serial multilevel recursion (the default engine)
+  ParallelMultilevel,  // same engine, parallel recursion (bitwise == serial)
+  Geometric,           // forced geometric/streaming fallback
+  BudgetZero,          // budget exhausted at entry → full degradation
+};
+
+const char* to_string(PartitionEngineAxis e);
+bool partition_engine_from_string(std::string_view name,
+                                  PartitionEngineAxis& out);
+
 /// One fuzz case: problem descriptor + pipeline configuration.
 struct CaseSpec {
   Family family = Family::RandomDiagDom;
@@ -74,6 +91,8 @@ struct CaseSpec {
   /// scheduling (must agree bitwise with serial at any thread count; the
   /// differential runner's serial rerun enforces it).
   bool levelset_trisolve = false;
+  /// Which partition engine lane computes the DBBD partition.
+  PartitionEngineAxis partition_engine = PartitionEngineAxis::Multilevel;
 
   /// Short id, e.g. "random-diag-dom/n64/seed7/RHB/k4/t3/nrhs2/exact".
   [[nodiscard]] std::string to_string() const;

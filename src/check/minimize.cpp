@@ -83,11 +83,19 @@ bool serial_trisolve(CaseSpec& s) {
   s.levelset_trisolve = false;
   return true;
 }
+/// Fall back to the default serial multilevel partition engine: a failure
+/// that survives there is not the parallel recursion's, the geometric
+/// fallback's, or the budget degradation's fault.
+bool default_partition_engine(CaseSpec& s) {
+  if (s.partition_engine == PartitionEngineAxis::Multilevel) return false;
+  s.partition_engine = PartitionEngineAxis::Multilevel;
+  return true;
+}
 
 constexpr Candidate kLadder[] = {
     halve_n, halve_subdomains, single_rhs, no_serve,       serial,
     gmres_only, sparsify,      shave_n,    ngd_partitioner, simpler_lu_kernel,
-    serial_trisolve,
+    serial_trisolve, default_partition_engine,
 };
 
 }  // namespace

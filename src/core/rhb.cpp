@@ -1,258 +1,20 @@
 #include "core/rhb.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <future>
-#include <numeric>
+#include <utility>
 
-#include "hypergraph/bisect.hpp"
-#include "hypergraph/hypergraph.hpp"
-#include "obs/metrics.hpp"
-#include "obs/trace.hpp"
-#include "sparse/convert.hpp"
-#include "util/error.hpp"
-#include "util/rng.hpp"
+#include "partition/engine.hpp"
 
 namespace pdslin {
 
-namespace {
-
-// Submatrix carried through the recursion: local CSR rows over a local
-// column numbering, plus the global ids and the per-column (net) costs.
-struct SubMatrix {
-  CsrMatrix m;                    // pattern-only, local indices
-  std::vector<index_t> row_ids;   // local row → global row of M
-  std::vector<index_t> col_cost;  // per local column
-};
-
-struct RhbState {
-  const RhbOptions* opt = nullptr;
-  const CsrMatrix* full = nullptr;  // full M (for w2)
-  std::vector<index_t> row_part;    // disjoint subtree writes: race-free
-  std::uint64_t base_seed = 1;
-};
-
-// Deterministic per-node seed: depends only on the recursion position
-// (part range), never on execution order — this is what makes the parallel
-// recursion bit-identical to the serial one.
-std::uint64_t node_seed(std::uint64_t base, index_t low, index_t k) {
-  std::uint64_t x = base ^ (static_cast<std::uint64_t>(low) << 32) ^
-                    static_cast<std::uint64_t>(k);
-  x += 0x9E3779B97F4A7C15ULL;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
-  return x ^ (x >> 31);
-}
-
-Hypergraph model_of(const SubMatrix& sub, const RhbState& st, int depth) {
-  Hypergraph h = column_net_model(sub.m);
-  h.net_cost.assign(sub.col_cost.begin(), sub.col_cost.end());
-
-  const bool dynamic = st.opt->dynamic_weights && depth > 0;
-  const bool multi =
-      st.opt->constraints == RhbConstraintMode::MultiW1W2 && dynamic;
-  if (!dynamic) {
-    // First bisection: no information yet → unit weights (paper §III-C).
-    h.num_constraints = 1;
-    h.vwgt.assign(h.num_vertices, 1);
-    return h;
-  }
-  h.num_constraints = multi ? 2 : 1;
-  h.vwgt.assign(static_cast<std::size_t>(h.num_constraints) * h.num_vertices, 0);
-  for (index_t i = 0; i < h.num_vertices; ++i) {
-    h.vwgt[i] = std::max<index_t>(1, sub.m.row_nnz(i));  // w1
-  }
-  if (multi) {
-    for (index_t i = 0; i < h.num_vertices; ++i) {
-      const index_t g = sub.row_ids[i];
-      const long long w2 = st.full->row_nnz(g);
-      const long long w1 = h.vwgt[i];
-      // Complementary constraint: predicted interface contribution.
-      h.vwgt[static_cast<std::size_t>(h.num_vertices) + i] =
-          std::max<long long>(1, w2 - w1 + 1);
-    }
-  }
-  return h;
-}
-
-// Build the side-s child submatrix, applying the metric's net-inheritance
-// policy to cut columns.
-SubMatrix child_of(const SubMatrix& sub, const std::vector<signed char>& side,
-                   int s, CutMetric metric) {
-  const index_t nrows = sub.m.rows;
-  const index_t ncols = sub.m.cols;
-
-  // Which columns survive on side s, and with what cost.
-  std::vector<signed char> col_state(ncols, 0);  // bit0: side0 pin, bit1: side1
-  for (index_t i = 0; i < nrows; ++i) {
-    const signed char bit = side[i] == 0 ? 1 : 2;
-    for (index_t j : sub.m.row_cols(i)) col_state[j] |= bit;
-  }
-  std::vector<index_t> new_col(ncols, -1);
-  SubMatrix child;
-  const signed char mine = s == 0 ? 1 : 2;
-  for (index_t j = 0; j < ncols; ++j) {
-    if (!(col_state[j] & mine)) continue;  // no pins on this side
-    const bool cut = col_state[j] == 3;
-    index_t cost = sub.col_cost[j];
-    if (cut) {
-      if (metric == CutMetric::CutNet) continue;        // net discarding
-      if (metric == CutMetric::Soed) cost = (cost + 1) / 2;  // cost halving
-    }
-    new_col[j] = static_cast<index_t>(child.col_cost.size());
-    child.col_cost.push_back(cost);
-  }
-
-  child.m.cols = static_cast<index_t>(child.col_cost.size());
-  child.m.row_ptr.push_back(0);
-  for (index_t i = 0; i < nrows; ++i) {
-    if (side[i] != s) continue;
-    for (index_t j : sub.m.row_cols(i)) {
-      if (new_col[j] >= 0) child.m.col_idx.push_back(new_col[j]);
-    }
-    child.m.row_ptr.push_back(static_cast<index_t>(child.m.col_idx.size()));
-    child.row_ids.push_back(sub.row_ids[i]);
-  }
-  child.m.rows = static_cast<index_t>(child.row_ids.size());
-  return child;
-}
-
-void recurse(RhbState& st, const SubMatrix& sub, index_t k, index_t low,
-             int depth) {
-  if (k == 1 || sub.m.rows == 0) {
-    for (index_t g : sub.row_ids) st.row_part[g] = low;
-    return;
-  }
-  const Hypergraph h = model_of(sub, st, depth);
-  // Unlike NGD's per-bisection balance (whose drift compounds level by
-  // level — the weakness §III highlights), RHB budgets the user's global ε
-  // across all log₂(k) levels: (1+ε_level)^levels = 1+ε.
-  const int levels = std::max(
-      1, static_cast<int>(std::round(std::log2(static_cast<double>(
-             std::max<index_t>(2, st.opt->num_parts))))));
-  const double eps_level =
-      std::pow(1.0 + st.opt->epsilon, 1.0 / static_cast<double>(levels)) - 1.0;
-  HgBisectOptions bopt;
-  bopt.target0.assign(h.num_constraints, 0.5);
-  bopt.epsilon.assign(h.num_constraints, eps_level);
-  bopt.coarsen_to = st.opt->coarsen_to;
-  bopt.refine_passes = st.opt->refine_passes;
-  bopt.initial_tries = st.opt->initial_tries;
-  bopt.seed = node_seed(st.base_seed, low, k);
-  const HgBisection bis = [&] {
-    PDSLIN_SPAN_I("rhb.bisect", depth);
-    static obs::Counter& bisections = obs::counter("rhb.bisections");
-    bisections.add();
-    return bisect_hypergraph(h, bopt);
-  }();
-
-  // Spawn the first child on its own thread while this thread handles the
-  // second, as long as the spawn budget (≈ log2(threads) levels) lasts.
-  const bool spawn =
-      st.opt->threads > 1 &&
-      (1u << static_cast<unsigned>(depth)) < st.opt->threads && k > 2;
-  SubMatrix child0 = child_of(sub, bis.side, 0, st.opt->metric);
-  SubMatrix child1 = child_of(sub, bis.side, 1, st.opt->metric);
-  if (spawn) {
-    auto future = std::async(std::launch::async, [&] {
-      recurse(st, child0, k / 2, low, depth + 1);
-    });
-    recurse(st, child1, k / 2, low + k / 2, depth + 1);
-    future.get();
-  } else {
-    recurse(st, child0, k / 2, low, depth + 1);
-    recurse(st, child1, k / 2, low + k / 2, depth + 1);
-  }
-}
-
-// Single full recursion with one seed.
-RhbResult rhb_partition_once(const CsrMatrix& m, const RhbOptions& opt) {
-  RhbState st;
-  st.opt = &opt;
-  st.full = &m;
-  st.row_part.assign(m.rows, 0);
-  st.base_seed = opt.seed;
-
-  SubMatrix root;
-  root.m = pattern_of(m);
-  root.row_ids.resize(m.rows);
-  std::iota(root.row_ids.begin(), root.row_ids.end(), 0);
-  root.col_cost.assign(m.cols, opt.metric == CutMetric::Soed ? 2 : 1);
-  recurse(st, root, opt.num_parts, 0, 0);
-
-  RhbResult res;
-  res.row_part = std::move(st.row_part);
-
-  // Induced unknown partition: a column of the full M is interior to part p
-  // iff all its rows are in p; otherwise it is a separator unknown.
-  res.unknowns.num_parts = opt.num_parts;
-  res.unknowns.part.assign(m.cols, -2);  // -2 = untouched so far
-  const CscMatrix mc = csr_to_csc(m);
-  std::vector<long long> part_load(opt.num_parts, 0);
-  for (index_t j = 0; j < m.cols; ++j) {
-    index_t label = -2;
-    for (index_t r : mc.col_rows(j)) {
-      const index_t p = res.row_part[r];
-      if (label == -2) {
-        label = p;
-      } else if (label != p) {
-        label = DissectionResult::kSeparator;
-        break;
-      }
-    }
-    if (label == -2) {
-      // Column with no rows (unknown untouched by M): park it in the
-      // lightest subdomain; it couples to nothing.
-      label = static_cast<index_t>(
-          std::min_element(part_load.begin(), part_load.end()) -
-          part_load.begin());
-    }
-    res.unknowns.part[j] = label;
-    if (label >= 0) ++part_load[label];
-  }
-  res.unknowns.separator_size = static_cast<index_t>(
-      std::count(res.unknowns.part.begin(), res.unknowns.part.end(),
-                 DissectionResult::kSeparator));
-  return res;
-}
-
-}  // namespace
-
+// The recursion itself lives in partition/engine.cpp (it is shared with the
+// budget-aware engine); this entry point is the plain, always-multilevel
+// RHB of the paper.
 RhbResult rhb_partition(const CsrMatrix& m, const RhbOptions& opt) {
-  PDSLIN_CHECK_MSG(opt.num_parts >= 1 &&
-                       (opt.num_parts & (opt.num_parts - 1)) == 0,
-                   "num_parts must be a power of two");
-  // Multi-start: the recursion is cheap next to factorization, so take the
-  // attempt with the best induced subdomain balance (then separator size).
-  RhbResult best;
-  double best_ratio = 0.0;
-  Rng seeder(opt.seed);
-  const int attempts = std::max(1, opt.attempts);
-  for (int attempt = 0; attempt < attempts; ++attempt) {
-    RhbOptions sub = opt;
-    sub.seed = attempt == 0 ? opt.seed : seeder.next();
-    RhbResult r = rhb_partition_once(m, sub);
-    std::vector<long long> sizes(opt.num_parts, 0);
-    for (index_t label : r.unknowns.part) {
-      if (label >= 0) ++sizes[label];
-    }
-    long long mx = 0, mn = m.cols + 1;
-    for (long long s : sizes) {
-      mx = std::max(mx, s);
-      mn = std::min(mn, s);
-    }
-    const double ratio =
-        mn > 0 ? static_cast<double>(mx) / static_cast<double>(mn) : 1e30;
-    const bool better =
-        attempt == 0 || ratio < best_ratio - 1e-9 ||
-        (std::abs(ratio - best_ratio) <= 1e-9 &&
-         r.unknowns.separator_size < best.unknowns.separator_size);
-    if (better) {
-      best = std::move(r);
-      best_ratio = ratio;
-    }
-  }
-  return best;
+  partition::EngineOptions eng;
+  eng.engine = partition::Engine::Multilevel;
+  eng.threads = opt.threads;
+  partition::EngineResult r = partition::rhb_engine(m, opt, eng);
+  return RhbResult{std::move(r.row_part), std::move(r.unknowns)};
 }
 
 }  // namespace pdslin

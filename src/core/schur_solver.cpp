@@ -9,6 +9,7 @@
 #include "obs/trace.hpp"
 #include "graph/graph.hpp"
 #include "parallel/thread_pool.hpp"
+#include "partition/engine.hpp"
 #include "sparse/convert.hpp"
 #include "sparse/ops.hpp"
 #include "sparse/symmetrize.hpp"
@@ -56,11 +57,26 @@ SchurSolver::SchurSolver(CsrMatrix a, SolverOptions opt)
                    "num_subdomains must be a power of two");
 }
 
-void SchurSolver::setup(const CsrMatrix* incidence) {
+void SchurSolver::setup(const CsrMatrix* incidence,
+                        std::span<const double> coords) {
   PDSLIN_SPAN("setup.partition");
   WallTimer timer;
+  // Geometry is optional: silently drop coordinate spans of the wrong shape
+  // (e.g. a problem generated before the coords were threaded through).
+  if (!coords.empty() &&
+      coords.size() != static_cast<std::size_t>(a_.rows) * 3) {
+    coords = {};
+  }
+  partition::EngineOptions eng;
+  eng.engine = opt_.partition_engine;
+  eng.budget.max_ms = opt_.partition_budget_ms;
+  eng.budget.min_quality = opt_.partition_min_quality;
+  eng.threads = opt_.threads;
+  eng.coords = coords;
+
   std::vector<index_t> part;
   std::vector<index_t> separator_order;  // NGD elimination order when known
+  partition::Stats pstats;
   if (opt_.partitioning == PartitionMethod::NGD) {
     PDSLIN_SPAN("setup.ngd");
     const CsrMatrix sym = symmetrize_abs(pattern_of(a_));
@@ -72,9 +88,10 @@ void SchurSolver::setup(const CsrMatrix* incidence) {
     nopt.num_parts = opt_.num_subdomains;
     nopt.epsilon = opt_.partition_epsilon;
     nopt.seed = opt_.seed;
-    DissectionResult nd = nested_dissection(g, nopt);
-    part = std::move(nd.part);
-    separator_order = std::move(nd.separator_order);
+    partition::EngineResult r = partition::ngd_engine(g, nopt, eng);
+    part = std::move(r.unknowns.part);
+    separator_order = std::move(r.unknowns.separator_order);
+    pstats = r.stats;
   } else {
     PDSLIN_SPAN("setup.rhb");
     CsrMatrix m_local;
@@ -94,21 +111,34 @@ void SchurSolver::setup(const CsrMatrix* incidence) {
     ropt.epsilon = opt_.partition_epsilon;
     ropt.seed = opt_.seed;
     ropt.threads = opt_.threads;
-    part = rhb_partition(*m, ropt).unknowns.part;
+    partition::EngineResult r = partition::rhb_engine(*m, ropt, eng);
+    part = std::move(r.unknowns.part);
+    pstats = r.stats;
   }
   {
     PDSLIN_SPAN("setup.dbbd");
     dbbd_ = build_dbbd(part, opt_.num_subdomains, separator_order);
   }
   stats_.partition_seconds = timer.seconds();
+  stats_.partition_engine = pstats.engine_label();
+  stats_.partition_multilevel_subtrees = pstats.multilevel_subtrees;
+  stats_.partition_fallback_subtrees = pstats.fallback_subtrees;
+  stats_.partition_budget_exhausted = pstats.budget_exhausted;
+  stats_.partition_balance_ratio = pstats.balance_ratio;
   obs::gauge("partition.separator_size")
       .set(static_cast<double>(dbbd_.separator_size()));
+  obs::counter("partition.subtrees.multilevel").add(pstats.multilevel_subtrees);
+  obs::counter("partition.subtrees.fallback").add(pstats.fallback_subtrees);
+  if (pstats.budget_exhausted) obs::counter("partition.budget.exhausted").add();
+  obs::gauge("partition.balance_ratio").set(pstats.balance_ratio);
+  obs::gauge("partition.elapsed_ms").set(pstats.elapsed_ms);
   stats_.partition = dbbd_stats(a_, dbbd_);
   stats_.schur_dim = dbbd_.separator_size();
   setup_done_ = true;
   factor_done_ = false;
   log_info("partition: ", to_string(opt_.partitioning), " k=",
-           opt_.num_subdomains, " separator=", dbbd_.separator_size(), " (",
+           opt_.num_subdomains, " engine=", stats_.partition_engine,
+           " separator=", dbbd_.separator_size(), " (",
            stats_.partition_seconds, "s)");
 }
 

@@ -22,6 +22,7 @@
 #include "core/subdomain.hpp"
 #include "iterative/bicgstab.hpp"
 #include "iterative/gmres.hpp"
+#include "partition/types.hpp"
 
 namespace pdslin {
 
@@ -36,6 +37,18 @@ struct SolverOptions {
   /// from mere vertex weighting.
   bool ngd_weighted = false;
   double partition_epsilon = 0.10;
+  /// Partitioning-engine selection (src/partition): Auto/Multilevel run the
+  /// multilevel recursion (degrading under the budget), Geometric forces the
+  /// O(n log n) coordinate/streaming fallback everywhere.
+  partition::Engine partition_engine = partition::Engine::Auto;
+  /// Wall-clock budget for the partition phase (partition::Budget::max_ms
+  /// sentinel semantics: 0 = unlimited, < 0 = exhausted at entry). Changes
+  /// partition quality, never correctness: degraded subtrees still produce a
+  /// valid DBBD input.
+  double partition_budget_ms = 0.0;
+  /// partition::Budget::min_quality — fraction of the top bisection levels
+  /// immune to budget degradation.
+  double partition_min_quality = 0.0;
   SchurAssemblyOptions assembly;
   KrylovMethod krylov = KrylovMethod::Gmres;
   GmresOptions gmres;
@@ -61,8 +74,11 @@ class SchurSolver {
 
   /// Phase 1 — compute the DBBD partition (Eq. (1)). RHB consumes the
   /// structural factor M; pass the generator's incidence or nullptr to build
-  /// a clique cover internally. NGD ignores `incidence`.
-  void setup(const CsrMatrix* incidence = nullptr);
+  /// a clique cover internally. NGD ignores `incidence`. `coords` is the
+  /// problem geometry (3 doubles per unknown, empty = none) used by the
+  /// partition engine's geometric fallback; it is read during setup only.
+  void setup(const CsrMatrix* incidence = nullptr,
+             std::span<const double> coords = {});
 
   /// Phase 1, symbolic-reuse variant: adopt a partition computed for another
   /// matrix with the same pattern (the serve layer's factorization cache

@@ -1,5 +1,6 @@
 #include "fleet/launch.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
@@ -8,6 +9,7 @@
 #include <thread>
 #include <unistd.h>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -115,6 +117,98 @@ void WorkerProcess::kill_hard() {
   ::kill(pid_, SIGKILL);
   ::waitpid(pid_, nullptr, 0);
   pid_ = -1;
+}
+
+// ------------------------------------------------------------- supervisor
+
+WorkerSupervisor::WorkerSupervisor(SupervisorOptions opt)
+    : opt_(std::move(opt)) {
+  // Initial spawn happens on the caller's thread so construction failures
+  // propagate as exceptions, not as a latched gave_up().
+  worker_ = WorkerProcess::spawn(opt_.spawn);
+  monitor_ = std::thread([this] { monitor(); });
+}
+
+WorkerSupervisor::~WorkerSupervisor() { stop(); }
+
+pid_t WorkerSupervisor::pid() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return worker_.pid();
+}
+
+int WorkerSupervisor::restarts() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return restarts_;
+}
+
+bool WorkerSupervisor::gave_up() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gave_up_;
+}
+
+void WorkerSupervisor::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      if (monitor_.joinable()) monitor_.join();
+      return;
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (monitor_.joinable()) monitor_.join();
+  worker_.terminate();
+}
+
+bool WorkerSupervisor::wait_for_ms(int ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, std::chrono::milliseconds(ms),
+               [this] { return stopping_; });
+  return !stopping_;
+}
+
+void WorkerSupervisor::monitor() {
+  int attempt = 0;
+  for (;;) {
+    if (!wait_for_ms(opt_.poll_interval_ms)) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (worker_.running()) {
+        attempt = 0;  // a full poll interval alive resets the backoff ladder
+        continue;
+      }
+    }
+    if (attempt >= opt_.max_restarts) {
+      std::lock_guard<std::mutex> lock(mu_);
+      gave_up_ = true;
+      log_warn("fleet: supervisor on ", opt_.spawn.endpoint.to_string(),
+               " giving up after ", attempt, " restart attempts");
+      return;
+    }
+    // Capped exponential backoff before each respawn: 100ms, 200ms, ...,
+    // clamped at backoff_max_ms. Interruptible so stop() never blocks on a
+    // full backoff window.
+    const long long raw =
+        static_cast<long long>(opt_.backoff_initial_ms) << attempt;
+    const int backoff = static_cast<int>(
+        std::min<long long>(raw, opt_.backoff_max_ms));
+    log_warn("fleet: worker on ", opt_.spawn.endpoint.to_string(),
+             " died; restarting in ", backoff, " ms (attempt ", attempt + 1,
+             "/", opt_.max_restarts, ")");
+    if (!wait_for_ms(backoff)) return;
+    ++attempt;
+    obs::counter("fleet.shard.restarts").add();
+    try {
+      WorkerProcess next = WorkerProcess::spawn(opt_.spawn);
+      std::lock_guard<std::mutex> lock(mu_);
+      worker_ = std::move(next);
+      ++restarts_;
+    } catch (const Error& e) {
+      // Spawn failure burns an attempt; the loop re-enters backoff with the
+      // next (longer) window.
+      log_warn("fleet: respawn failed: ", e.what());
+    }
+  }
 }
 
 }  // namespace pdslin::fleet

@@ -5,8 +5,11 @@
 // child calls nothing but async-signal-safe functions before execv.
 #pragma once
 
+#include <condition_variable>
+#include <mutex>
 #include <string>
 #include <sys/types.h>
+#include <thread>
 #include <vector>
 
 #include "fleet/socket.hpp"
@@ -54,6 +57,61 @@ class WorkerProcess {
  private:
   pid_t pid_ = -1;
   Endpoint endpoint_;
+};
+
+struct SupervisorOptions {
+  WorkerSpawnOptions spawn;
+  /// Maximum restart attempts before the supervisor gives up. A spawn that
+  /// throws counts as a failed attempt too.
+  int max_restarts = 5;
+  /// Capped exponential backoff between restarts: initial << attempt,
+  /// clamped to backoff_max_ms.
+  int backoff_initial_ms = 100;
+  int backoff_max_ms = 5000;
+  /// Liveness poll cadence of the monitor thread.
+  int poll_interval_ms = 50;
+};
+
+/// Keeps one shard's worker process alive: a monitor thread polls the child,
+/// and when it dies (crash, OOM-kill, SIGKILL drill) respawns it on the same
+/// endpoint with capped exponential backoff, bumping the
+/// `fleet.shard.restarts` counter per attempt. After max_restarts failures
+/// the supervisor latches gave_up() and stops trying — the router's health
+/// monitor then sees the shard as permanently down.
+class WorkerSupervisor {
+ public:
+  /// Spawns the initial worker (blocking until ready — same contract as
+  /// WorkerProcess::spawn) and starts the monitor thread.
+  explicit WorkerSupervisor(SupervisorOptions opt);
+  ~WorkerSupervisor();
+  WorkerSupervisor(const WorkerSupervisor&) = delete;
+  WorkerSupervisor& operator=(const WorkerSupervisor&) = delete;
+
+  [[nodiscard]] const Endpoint& endpoint() const { return opt_.spawn.endpoint; }
+  /// Pid of the current incarnation (-1 between incarnations or after
+  /// giving up).
+  [[nodiscard]] pid_t pid();
+  /// Completed restarts so far (0 while the initial worker lives).
+  [[nodiscard]] int restarts();
+  [[nodiscard]] bool gave_up();
+
+  /// Stop monitoring and terminate the current worker. Idempotent; also run
+  /// by the destructor.
+  void stop();
+
+ private:
+  void monitor();
+  /// Interruptible sleep; returns false when stop() was requested.
+  bool wait_for_ms(int ms);
+
+  SupervisorOptions opt_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  WorkerProcess worker_;
+  int restarts_ = 0;
+  bool gave_up_ = false;
+  bool stopping_ = false;
+  std::thread monitor_;
 };
 
 }  // namespace pdslin::fleet

@@ -115,6 +115,22 @@ GeneratedProblem generate_grid_fem(const GridFemOptions& opt) {
   GeneratedProblem p;
   p.a = coo_to_csr(a_coo);
   p.incidence = coo_to_csr(m_coo);
+  // Every dof of a node sits at the node's grid position.
+  p.coords.resize(static_cast<std::size_t>(n) * 3);
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t node = node_id(x, y, z);
+        for (index_t k = 0; k < d; ++k) {
+          double* c = p.coords.data() +
+                      3 * static_cast<std::size_t>(node * d + k);
+          c[0] = static_cast<double>(x);
+          c[1] = static_cast<double>(y);
+          c[2] = static_cast<double>(z);
+        }
+      }
+    }
+  }
   p.pattern_symmetric = true;
   p.value_symmetric = true;
   p.positive_definite = (opt.shift == 0.0);

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "sparse/csr.hpp"
 
@@ -17,6 +18,11 @@ struct GeneratedProblem {
   /// unknowns). Empty (rows == 0) when the generator has no natural M; the
   /// pipeline then falls back to the greedy clique cover.
   CsrMatrix incidence;
+  /// Node geometry: interleaved xyz, 3 doubles per unknown. FEM generators
+  /// emit the mesh coordinates (2D meshes use z = 0); empty for problems
+  /// with no natural embedding (e.g. circuits). Consumed by the partition
+  /// engine's geometric fallback (src/partition/geometric.hpp).
+  std::vector<double> coords;
   bool pattern_symmetric = true;
   bool value_symmetric = true;
   bool positive_definite = false;

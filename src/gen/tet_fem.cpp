@@ -30,11 +30,18 @@ GeneratedProblem generate_tet_fem(const TetFemOptions& opt) {
   // integral; linear elements only ever touch even coordinates.
   const index_t gx = 2 * nx - 1, gy = 2 * ny - 1, gz = 2 * nz - 1;
   std::vector<index_t> id_of(static_cast<std::size_t>(gx) * gy * gz, -1);
+  std::vector<double> coords;  // 3 per node, recorded at id creation
   index_t next_id = 0;
   auto node_at = [&](index_t x, index_t y, index_t z) {
     const std::size_t key =
         (static_cast<std::size_t>(z) * gy + y) * gx + x;
-    if (id_of[key] < 0) id_of[key] = next_id++;
+    if (id_of[key] < 0) {
+      id_of[key] = next_id++;
+      // Undo the doubling so coordinates are in original-grid units.
+      coords.push_back(static_cast<double>(x) / 2.0);
+      coords.push_back(static_cast<double>(y) / 2.0);
+      coords.push_back(static_cast<double>(z) / 2.0);
+    }
     return id_of[key];
   };
 
@@ -76,7 +83,9 @@ GeneratedProblem generate_tet_fem(const TetFemOptions& opt) {
   aopt.shift = opt.shift;
   aopt.jitter = opt.jitter;
   aopt.seed = opt.seed;
-  return assemble_fem(elements, next_id, aopt);
+  GeneratedProblem p = assemble_fem(elements, next_id, aopt);
+  p.coords = std::move(coords);  // dofs_per_node == 1: one dof per node
+  return p;
 }
 
 }  // namespace pdslin

@@ -11,10 +11,6 @@
 
 namespace pdslin {
 
-namespace {
-
-// Induced subgraph on the vertex list `verts`; `local_of` maps a global
-// vertex to its local index within the subgraph.
 Graph induced_subgraph(const Graph& g, const std::vector<index_t>& verts,
                        std::vector<index_t>& local_of) {
   Graph sub;
@@ -49,6 +45,8 @@ Graph induced_subgraph(const Graph& g, const std::vector<index_t>& verts,
   }
   return sub;
 }
+
+namespace {
 
 struct NdState {
   const Graph* g = nullptr;

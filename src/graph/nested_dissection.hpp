@@ -38,6 +38,13 @@ struct DissectionResult {
 
 DissectionResult nested_dissection(const Graph& g, const NgdOptions& opt);
 
+/// Induced subgraph on the vertex list `verts`. `local_of` is caller-owned
+/// scratch of size g.n, initialized to -1; on return it maps each vertex in
+/// `verts` to its local index (the caller resets those entries before
+/// reuse). Shared with the parallel dissection engine in src/partition.
+Graph induced_subgraph(const Graph& g, const std::vector<index_t>& verts,
+                       std::vector<index_t>& local_of);
+
 /// Validate the dissection: every edge between two different subdomains must
 /// pass through the separator. Used by tests.
 bool is_valid_dissection(const Graph& g, const DissectionResult& r);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 
 #include "hypergraph/coarsen.hpp"
 #include "hypergraph/initial.hpp"
@@ -35,14 +36,18 @@ HgBisection bisect_level(const Hypergraph& h, const HgBisectOptions& opt,
                          Rng& rng) {
   const HgBalance bal = make_balance(h, opt);
   const BalanceWindow window = balance_window(h, bal);
+  const bool stopped = opt.should_stop && opt.should_stop();
 
-  if (h.num_vertices <= opt.coarsen_to) {
+  if (stopped || h.num_vertices <= opt.coarsen_to) {
     HgBisection best;
     bool have = false;
-    for (int t = 0; t < std::max(1, opt.initial_tries); ++t) {
+    // Budget exhausted → cheapest valid answer: one grown bisection, no FM.
+    const int tries = stopped ? 1 : std::max(1, opt.initial_tries);
+    const int passes = stopped ? 0 : opt.refine_passes;
+    for (int t = 0; t < tries; ++t) {
       HgBisection b = (t % 2 == 0) ? grow_bisection(h, bal.target0[0], rng)
                                    : random_bisection(h, bal.target0[0], rng);
-      fm_refine(h, b, window, opt.refine_passes, rng);
+      fm_refine(h, b, window, passes, rng);
       if (!have || better(b, best, window)) {
         best = std::move(b);
         have = true;
@@ -51,7 +56,10 @@ HgBisection bisect_level(const Hypergraph& h, const HgBisectOptions& opt,
     return best;
   }
 
-  const std::vector<index_t> match = heavy_connectivity_matching(h, rng);
+  const std::vector<index_t> match =
+      opt.deterministic_matching
+          ? heavy_connectivity_matching_det(h, opt.matching_threads)
+          : heavy_connectivity_matching(h, rng);
   HgCoarsening c = contract(h, match);
   if (c.coarse.num_vertices > h.num_vertices * 19 / 20) {
     // Matching stalled (e.g. star hypergraph); fall back to flat partitioning.
@@ -70,14 +78,30 @@ HgBisection bisect_level(const Hypergraph& h, const HgBisectOptions& opt,
     b.side[v] = coarse_b.side[c.map[v]];
   }
   b.rebuild(h);
-  fm_refine(h, b, window, opt.refine_passes, rng);
+  // Re-poll on the way back up: projection is cheap, refinement is not.
+  if (!(opt.should_stop && opt.should_stop())) {
+    fm_refine(h, b, window, opt.refine_passes, rng);
+  }
   return b;
 }
 
 }  // namespace
 
 HgBisection bisect_hypergraph(const Hypergraph& h, const HgBisectOptions& opt) {
-  PDSLIN_CHECK(h.num_vertices > 0);
+  PDSLIN_CHECK_MSG(h.num_vertices > 0,
+                   "hypergraph bisection: empty hypergraph");
+  for (int c = 0; c < h.num_constraints; ++c) {
+    PDSLIN_CHECK_MSG(h.total_weight(c) > 0,
+                     "hypergraph bisection: all-zero vertex weights "
+                     "(constraint " + std::to_string(c) + ")");
+  }
+  if (h.num_vertices == 1) {
+    // Degenerate but well-defined: the single vertex sits on side 0.
+    HgBisection b;
+    b.side.assign(1, 0);
+    b.rebuild(h);
+    return b;
+  }
   Rng rng(opt.seed);
   return bisect_level(h, opt, rng);
 }

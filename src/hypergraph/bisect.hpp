@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "hypergraph/fm.hpp"
 #include "hypergraph/hypergraph.hpp"
@@ -19,6 +20,18 @@ struct HgBisectOptions {
   int refine_passes = 6;
   int initial_tries = 4;
   std::uint64_t seed = 1;
+  /// Deterministic (thread-count-independent) coarsening: the two-pass
+  /// claim/commit matching instead of the seeded random-order walk. The
+  /// partition engine turns this on so parallel recursive bisection stays
+  /// bitwise identical at any thread count; the matching itself runs on
+  /// `matching_threads` pool workers.
+  bool deterministic_matching = false;
+  unsigned matching_threads = 1;
+  /// Latency-budget hook: polled between coarsening levels and before each
+  /// refinement, never mid-kernel. Once it returns true the bisection
+  /// finishes on the cheapest path (single initial try, no FM) — still a
+  /// valid bisection, just unrefined. Empty → never stops.
+  std::function<bool()> should_stop;
 };
 
 /// Bisect minimizing the weighted cut-net cost subject to the balance

@@ -1,9 +1,11 @@
 #include "hypergraph/coarsen.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <numeric>
 #include <unordered_map>
 
+#include "parallel/thread_pool.hpp"
 #include "util/error.hpp"
 
 namespace pdslin {
@@ -48,6 +50,97 @@ std::vector<index_t> heavy_connectivity_matching(const Hypergraph& h, Rng& rng) 
     } else {
       match[v] = v;
     }
+  }
+  return match;
+}
+
+namespace {
+
+// Position-independent vertex key for tie-breaking: with many equal
+// connectivity scores (regular meshes), breaking ties by raw index makes
+// every vertex point the same way and almost no proposal is mutual — the
+// commit frontier crawls one diagonal per round. A hashed key decorrelates
+// the preferences, so a constant fraction of proposals pair up each round.
+std::uint64_t vertex_key(index_t v) {
+  auto x = static_cast<std::uint64_t>(v) + 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::vector<index_t> heavy_connectivity_matching_det(const Hypergraph& h,
+                                                     unsigned threads) {
+  const index_t n = h.num_vertices;
+  std::vector<index_t> match(n, -1);
+  std::vector<index_t> proposal(n, -1);
+  // Mutual-proposal rounds: each leaves the unmatched stragglers whose best
+  // partner preferred someone else; with hashed tie-breaking the pool
+  // shrinks geometrically, so a fixed round count saturates in practice.
+  constexpr int kMaxRounds = 8;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    auto propose = [&](unsigned, long long lo, long long hi) {
+      // Per-range scatter accumulator (same idiom as the serial matcher,
+      // one instance per worker so ranges never share scratch).
+      std::vector<long long> score(n, 0);
+      std::vector<index_t> touched;
+      for (index_t v = static_cast<index_t>(lo); v < static_cast<index_t>(hi);
+           ++v) {
+        proposal[v] = -1;
+        if (match[v] >= 0) continue;
+        touched.clear();
+        for (index_t net : h.nets_of(v)) {
+          const auto pin_span = h.pins(net);
+          if (pin_span.size() > 512) continue;
+          const long long c = h.net_cost[net];
+          for (index_t u : pin_span) {
+            if (u == v || match[u] >= 0) continue;
+            if (score[u] == 0) touched.push_back(u);
+            score[u] += c;
+          }
+        }
+        index_t best = -1;
+        long long best_score = 0;
+        std::uint64_t best_key = 0;
+        for (index_t u : touched) {
+          // Ties: lowest hashed key, then lowest index — independent of the
+          // visit order and of the thread count.
+          const std::uint64_t key = vertex_key(u);
+          if (score[u] > best_score ||
+              (score[u] == best_score && best >= 0 &&
+               (key < best_key || (key == best_key && u < best)))) {
+            best_score = score[u];
+            best = u;
+            best_key = key;
+          }
+          score[u] = 0;
+        }
+        proposal[v] = best;
+      }
+    };
+    if (threads > 1 && n > 1) {
+      parallel_ranges(ThreadPool::shared(), n, threads, propose);
+    } else {
+      propose(0, 0, n);
+    }
+    // Commit pass: mutual proposals become matches. Serial scan in vertex
+    // order — O(n) and order-independent (the committed set is exactly the
+    // set of mutual pairs, however it is enumerated).
+    bool any = false;
+    for (index_t v = 0; v < n; ++v) {
+      if (match[v] >= 0) continue;
+      const index_t u = proposal[v];
+      if (u > v && proposal[u] == v) {
+        match[v] = u;
+        match[u] = v;
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+  for (index_t v = 0; v < n; ++v) {
+    if (match[v] < 0) match[v] = v;
   }
   return match;
 }

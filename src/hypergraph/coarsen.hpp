@@ -17,6 +17,16 @@ struct HgCoarsening {
 /// (v itself if unmatched).
 std::vector<index_t> heavy_connectivity_matching(const Hypergraph& h, Rng& rng);
 
+/// Deterministic heavy-connectivity matching for the parallel partition
+/// engine: bounded rounds of a two-pass claim/commit protocol. Pass 1 runs
+/// vertex-parallel (parallel_ranges over the shared pool) — every unmatched
+/// vertex proposes its best-connected unmatched partner, ties broken toward
+/// the lowest vertex index; pass 2 commits mutual proposals. Each pass is a
+/// pure function of the hypergraph and the previous round's matched set, so
+/// the result is identical for any `threads`, including 1.
+std::vector<index_t> heavy_connectivity_matching_det(const Hypergraph& h,
+                                                     unsigned threads);
+
 /// Contract matched pairs: vertex weights sum per constraint; pins are
 /// deduplicated; single-pin nets are dropped; identical nets are merged with
 /// summed costs (crucial for multilevel speed).

@@ -69,6 +69,9 @@ void RunReport::add_solver(const SolverOptions& opt, const SolverStats& st) {
   set_config("drop_wg", json::number_to_string(opt.assembly.drop_wg));
   set_config("drop_s", json::number_to_string(opt.assembly.drop_s));
   set_config("epsilon", json::number_to_string(opt.partition_epsilon));
+  set_config("partition_engine", partition::to_string(opt.partition_engine));
+  set_config("partition_budget_ms",
+             json::number_to_string(opt.partition_budget_ms));
   set_config("seed", std::to_string(opt.seed));
 
   set_phase("partition", st.partition_seconds);
@@ -102,6 +105,17 @@ void RunReport::add_solver(const SolverOptions& opt, const SolverStats& st) {
            static_cast<double>(st.solve_workspace_allocs));
   set_stat("seconds_per_apply", st.seconds_per_apply());
   set_stat("iterations_per_second", st.iterations_per_second());
+
+  if (!st.partition_engine.empty()) {
+    set_config("partition_engine_used", st.partition_engine);
+  }
+  set_stat("partition_multilevel_subtrees",
+           static_cast<double>(st.partition_multilevel_subtrees));
+  set_stat("partition_fallback_subtrees",
+           static_cast<double>(st.partition_fallback_subtrees));
+  set_stat("partition_budget_exhausted",
+           st.partition_budget_exhausted ? 1.0 : 0.0);
+  set_stat("partition_balance_ratio", st.partition_balance_ratio);
 }
 
 void RunReport::capture_metrics() {

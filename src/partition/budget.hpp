@@ -1,0 +1,46 @@
+// Wall-clock budget tracker for the partitioning engine. One tracker covers
+// a whole compute_partition() run; subtree tasks on the pool poll it
+// concurrently, so the exhausted flag is an atomic latch — once tripped it
+// stays tripped, and no task un-degrades.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+#include "partition/types.hpp"
+
+namespace pdslin::partition {
+
+class BudgetTracker {
+ public:
+  explicit BudgetTracker(const Budget& b)
+      : max_ms_(b.max_ms), start_(Clock::now()) {
+    // A negative budget is the deterministic forced-fallback hook: latch
+    // immediately so no clock is ever read.
+    if (max_ms_ < 0.0) exhausted_.store(true, std::memory_order_relaxed);
+  }
+
+  /// True once the budget is spent. Unlimited (max_ms == 0) never trips.
+  [[nodiscard]] bool exhausted() const {
+    if (max_ms_ == 0.0) return false;
+    if (exhausted_.load(std::memory_order_relaxed)) return true;
+    if (elapsed_ms() >= max_ms_) {
+      exhausted_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  double max_ms_;
+  Clock::time_point start_;
+  mutable std::atomic<bool> exhausted_{false};
+};
+
+}  // namespace pdslin::partition

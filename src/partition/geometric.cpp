@@ -1,0 +1,154 @@
+#include "partition/geometric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pdslin::partition {
+
+namespace {
+
+/// Widest axis of the items' bounding box (ties → lowest axis).
+int widest_axis(std::span<const double> xyz, const std::vector<index_t>& items) {
+  double lo[3] = {0, 0, 0}, hi[3] = {0, 0, 0};
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const double* p = xyz.data() + 3 * static_cast<std::size_t>(items[i]);
+    for (int a = 0; a < 3; ++a) {
+      if (i == 0 || p[a] < lo[a]) lo[a] = p[a];
+      if (i == 0 || p[a] > hi[a]) hi[a] = p[a];
+    }
+  }
+  int best = 0;
+  for (int a = 1; a < 3; ++a) {
+    if (hi[a] - lo[a] > hi[best] - lo[best]) best = a;
+  }
+  return best;
+}
+
+/// Sort items along the widest axis (ties → item id, so the split is a
+/// deterministic function of the coordinates alone) and return the split
+/// point that puts ~`frac` of the weight on the left, keeping both sides
+/// non-empty.
+std::size_t sorted_split(std::span<const double> xyz,
+                         std::span<const long long> weight,
+                         std::vector<index_t>& items, double frac) {
+  const int axis = widest_axis(xyz, items);
+  std::sort(items.begin(), items.end(), [&](index_t a, index_t b) {
+    const double ca = xyz[3 * static_cast<std::size_t>(a) + axis];
+    const double cb = xyz[3 * static_cast<std::size_t>(b) + axis];
+    if (ca != cb) return ca < cb;
+    return a < b;
+  });
+  long long total = 0;
+  for (index_t v : items) total += std::max<long long>(1, weight[v]);
+  const double target = frac * static_cast<double>(total);
+  long long acc = 0;
+  std::size_t cut = 0;
+  for (; cut + 1 < items.size(); ++cut) {
+    acc += std::max<long long>(1, weight[items[cut]]);
+    if (static_cast<double>(acc) >= target) {
+      ++cut;
+      break;
+    }
+  }
+  return std::clamp<std::size_t>(cut, 1, items.size() - 1);
+}
+
+void rcb_recurse(std::span<const double> xyz, std::span<const long long> weight,
+                 std::vector<index_t>& items, index_t k, index_t low,
+                 std::vector<index_t>& label) {
+  if (k == 1 || items.size() <= 1) {
+    for (index_t v : items) label[v] = low;
+    return;
+  }
+  const index_t k0 = k / 2;
+  const std::size_t cut = sorted_split(
+      xyz, weight, items, static_cast<double>(k0) / static_cast<double>(k));
+  std::vector<index_t> left(items.begin(),
+                            items.begin() + static_cast<std::ptrdiff_t>(cut));
+  std::vector<index_t> right(items.begin() + static_cast<std::ptrdiff_t>(cut),
+                             items.end());
+  rcb_recurse(xyz, weight, left, k0, low, label);
+  rcb_recurse(xyz, weight, right, k - k0, low + k0, label);
+}
+
+}  // namespace
+
+void rcb_assign(std::span<const double> xyz, std::span<const long long> weight,
+                std::vector<index_t>& items, index_t k, index_t low,
+                std::vector<index_t>& label) {
+  PDSLIN_CHECK_MSG(k >= 1, "rcb_assign needs at least one part");
+  rcb_recurse(xyz, weight, items, k, low, label);
+}
+
+void streaming_assign(std::span<const long long> weight,
+                      const std::vector<index_t>& items, index_t k,
+                      index_t low, std::vector<index_t>& label) {
+  PDSLIN_CHECK_MSG(k >= 1, "streaming_assign needs at least one part");
+  long long remaining = 0;
+  for (index_t v : items) remaining += std::max<long long>(1, weight[v]);
+  index_t part = 0;
+  long long acc = 0;
+  std::size_t taken_in_part = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const index_t v = items[i];
+    // Close the current part once it holds an equal share of the remaining
+    // weight — but only while enough items remain to populate later parts.
+    const index_t parts_left = k - part;
+    const double share =
+        static_cast<double>(remaining) / static_cast<double>(parts_left);
+    const std::size_t items_left = items.size() - i;
+    if (part + 1 < k && taken_in_part > 0 &&
+        (static_cast<double>(acc) >= share ||
+         items_left <= static_cast<std::size_t>(parts_left - 1))) {
+      remaining -= acc;
+      acc = 0;
+      taken_in_part = 0;
+      ++part;
+    }
+    label[v] = low + part;
+    acc += std::max<long long>(1, weight[v]);
+    ++taken_in_part;
+  }
+}
+
+std::vector<signed char> geometric_bisect_side(
+    std::span<const double> xyz, std::span<const long long> weight,
+    const std::vector<index_t>& items) {
+  const std::size_t n = items.size();
+  std::vector<signed char> side(n, 1);
+  if (n <= 1) {
+    if (n == 1) side[0] = 0;
+    return side;
+  }
+  // Positions into `items`, ordered along the widest axis (ties → item id)
+  // when geometry exists, else left in the natural index order.
+  std::vector<std::size_t> pos(n);
+  for (std::size_t i = 0; i < n; ++i) pos[i] = i;
+  if (!xyz.empty()) {
+    const int axis = widest_axis(xyz, items);
+    std::sort(pos.begin(), pos.end(), [&](std::size_t a, std::size_t b) {
+      const double ca = xyz[3 * static_cast<std::size_t>(items[a]) + axis];
+      const double cb = xyz[3 * static_cast<std::size_t>(items[b]) + axis];
+      if (ca != cb) return ca < cb;
+      return items[a] < items[b];
+    });
+  }
+  long long total = 0;
+  for (index_t v : items) total += std::max<long long>(1, weight[v]);
+  long long acc = 0;
+  std::size_t cut = 0;
+  for (; cut + 1 < n; ++cut) {
+    acc += std::max<long long>(1, weight[items[pos[cut]]]);
+    if (2 * acc >= total) {
+      ++cut;
+      break;
+    }
+  }
+  cut = std::clamp<std::size_t>(cut, 1, n - 1);
+  for (std::size_t i = 0; i < cut; ++i) side[pos[i]] = 0;
+  return side;
+}
+
+}  // namespace pdslin::partition

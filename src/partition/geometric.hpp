@@ -1,0 +1,41 @@
+// Geometric/streaming fallback partitioners (à la Fagginger Auer–Bisseling,
+// arXiv:1105.4490): when a problem carries coordinates, recursive coordinate
+// bisection (widest axis, weighted median) gives an O(n log n) k-way split
+// with no multilevel machinery; without coordinates the fallback degrades
+// further to a single-pass streaming split over the natural index order.
+// Both are deterministic functions of their inputs — ties break on the item
+// id — so the budget-degraded engine stays thread-count independent.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace pdslin::partition {
+
+/// Assign the items in `items` to parts [low, low + k) by recursive
+/// coordinate bisection over `xyz` (3 doubles per item id, interleaved).
+/// Splits balance `weight` (per item id); each side keeps at least one item
+/// while any remain. `items` is reordered in place (scratch); labels land in
+/// `label[item]`.
+void rcb_assign(std::span<const double> xyz, std::span<const long long> weight,
+                std::vector<index_t>& items, index_t k, index_t low,
+                std::vector<index_t>& label);
+
+/// Streaming fallback without coordinates: walk `items` in the given order
+/// and close off a part whenever the running weight reaches an equal share
+/// of what remains. Single pass, deterministic.
+void streaming_assign(std::span<const long long> weight,
+                      const std::vector<index_t>& items, index_t k,
+                      index_t low, std::vector<index_t>& label);
+
+/// One geometric bisection of `items`: side[i] in {0, 1} for items[i]
+/// (local, parallel to `items`). Splits the widest axis at the weighted
+/// median; falls back to an index split when `xyz` is empty. Used by the
+/// NGD fallback path, which still needs a vertex separator per level.
+std::vector<signed char> geometric_bisect_side(
+    std::span<const double> xyz, std::span<const long long> weight,
+    const std::vector<index_t>& items);
+
+}  // namespace pdslin::partition

@@ -1,0 +1,41 @@
+#include "partition/types.hpp"
+
+namespace pdslin::partition {
+
+namespace {
+
+constexpr struct {
+  Engine e;
+  const char* name;
+} kEngines[] = {
+    {Engine::Auto, "auto"},
+    {Engine::Multilevel, "multilevel"},
+    {Engine::Geometric, "geometric"},
+};
+
+}  // namespace
+
+const char* to_string(Engine e) {
+  for (const auto& entry : kEngines) {
+    if (entry.e == e) return entry.name;
+  }
+  return "?";
+}
+
+bool engine_from_string(std::string_view name, Engine& out) {
+  for (const auto& entry : kEngines) {
+    if (name == entry.name) {
+      out = entry.e;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* Stats::engine_label() const {
+  if (fallback_subtrees == 0) return "multilevel";
+  if (multilevel_subtrees == 0) return "geometric";
+  return "hybrid";
+}
+
+}  // namespace pdslin::partition

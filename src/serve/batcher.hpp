@@ -40,6 +40,9 @@ struct SolveRequest {
   std::shared_ptr<const CsrMatrix> a;
   /// Optional incidence/structural factor for RHB (see SchurSolver::setup).
   std::shared_ptr<const CsrMatrix> incidence;
+  /// Optional problem geometry (3 doubles per unknown) for the partition
+  /// engine's geometric fallback; read only during a cold setup.
+  std::shared_ptr<const std::vector<double>> coords;
   std::vector<value_t> b;  // n × nrhs, column-major
   index_t nrhs = 1;
   SolverOptions opt;

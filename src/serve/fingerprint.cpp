@@ -72,6 +72,13 @@ std::uint64_t setup_options_hash(const pdslin::SolverOptions& opt) {
   h = hash_u64(static_cast<std::uint64_t>(opt.assembly.lu.panel_max_width), h);
   h = hash_double(opt.assembly.lu.panel_relax, h);
   h = hash_u64(opt.assembly.lu.panel_fp32 ? 1 : 0, h);
+  // Partition-engine knobs change the partition (and thus the factors), so
+  // they split the cache. The engine's thread count does NOT: the parallel
+  // recursion is bitwise identical to serial (same exclusion rationale as
+  // opt.threads above).
+  h = hash_u64(static_cast<std::uint64_t>(opt.partition_engine), h);
+  h = hash_double(opt.partition_budget_ms, h);
+  h = hash_double(opt.partition_min_quality, h);
   h = hash_u64(opt.seed, h);
   return h;
 }

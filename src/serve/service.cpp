@@ -294,7 +294,10 @@ void SolveService::execute_batch(Batch& batch) {
               proto.incidence && proto.incidence->rows > 0
                   ? proto.incidence.get()
                   : nullptr;
-          solver->setup(inc);
+          const std::span<const double> coords =
+              proto.coords ? std::span<const double>(*proto.coords)
+                           : std::span<const double>{};
+          solver->setup(inc, coords);
         }
         solver->factor();
         setup = std::make_shared<CachedSetup>(

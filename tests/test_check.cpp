@@ -449,6 +449,7 @@ TEST(Artifact, SpecRoundTripsThroughJson) {
   spec.krylov = KrylovMethod::Bicgstab;
   spec.exact_assembly = false;
   spec.serve = true;
+  spec.partition_engine = PartitionEngineAxis::BudgetZero;
   const std::string json = artifact_to_json(spec);
   const CaseSpec back = artifact_from_json(json);
   EXPECT_EQ(back.to_string(), spec.to_string());

@@ -5,20 +5,25 @@
 // (the fleet's core contract: distribution never changes the answer).
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <future>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "fleet/launch.hpp"
 #include "fleet/router.hpp"
 #include "fleet/socket.hpp"
 #include "fleet/wire.hpp"
 #include "fleet/worker.hpp"
+#include "obs/metrics.hpp"
 #include "serve/service.hpp"
 #include "test_util.hpp"
 #include "util/error.hpp"
@@ -585,6 +590,92 @@ TEST(FleetEndToEnd, RouterStopFailsOutstandingStructurally) {
   EXPECT_NE(r.detail.find("fleet:"), std::string::npos);
   router.stop();
 }
+
+// ------------------------------------------------------------- supervisor
+
+#ifdef PDSLIN_WORKER_BIN
+
+TEST(FleetSupervisor, RestartsKilledWorkerWithBackoff) {
+  const long long restarts_before =
+      obs::counter("fleet.shard.restarts").value();
+
+  fleet::SupervisorOptions sopt;
+  sopt.spawn.worker_bin = PDSLIN_WORKER_BIN;
+  sopt.spawn.endpoint = test_endpoint();
+  sopt.backoff_initial_ms = 50;  // keep the drill fast
+  sopt.poll_interval_ms = 20;
+  fleet::WorkerSupervisor sup(sopt);
+
+  const pid_t first = sup.pid();
+  ASSERT_GT(first, 0);
+  EXPECT_EQ(sup.restarts(), 0);
+  EXPECT_FALSE(sup.gave_up());
+
+  // The failover drill: SIGKILL the worker out from under the supervisor.
+  ASSERT_EQ(::kill(first, SIGKILL), 0);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (sup.restarts() >= 1 && sup.pid() > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_GE(sup.restarts(), 1) << "supervisor never restarted the worker";
+  const pid_t second = sup.pid();
+  EXPECT_GT(second, 0);
+  EXPECT_NE(second, first);
+  EXPECT_FALSE(sup.gave_up());
+  EXPECT_GE(obs::counter("fleet.shard.restarts").value(),
+            restarts_before + 1);
+
+  // The respawned incarnation must accept connections on the same endpoint.
+  fleet::Socket probe = fleet::connect_to(sup.endpoint(), 2000);
+  EXPECT_TRUE(probe.valid());
+
+  sup.stop();
+  EXPECT_LT(sup.pid(), 0);
+}
+
+TEST(FleetSupervisor, GivesUpAfterMaxRestartsWhenBinaryVanishes) {
+  // Spawn from a private copy of the worker binary, then delete the copy:
+  // every respawn attempt execs a missing path and fails fast, so the
+  // supervisor must walk the backoff ladder and latch gave_up() after
+  // max_restarts burned attempts.
+  const std::string copy = "/tmp/pdslin-test-worker-" +
+                           std::to_string(::getpid()) + "-vanish";
+  std::filesystem::copy_file(PDSLIN_WORKER_BIN, copy,
+                             std::filesystem::copy_options::overwrite_existing);
+  std::filesystem::permissions(copy,
+                               std::filesystem::perms::owner_all |
+                                   std::filesystem::perms::group_read |
+                                   std::filesystem::perms::group_exec);
+
+  fleet::SupervisorOptions sopt;
+  sopt.spawn.worker_bin = copy;
+  sopt.spawn.endpoint = test_endpoint();
+  sopt.max_restarts = 2;
+  sopt.backoff_initial_ms = 20;
+  sopt.backoff_max_ms = 100;
+  sopt.poll_interval_ms = 20;
+  fleet::WorkerSupervisor sup(sopt);
+
+  const pid_t first = sup.pid();
+  ASSERT_GT(first, 0);
+  std::filesystem::remove(copy);
+  ASSERT_EQ(::kill(first, SIGKILL), 0);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (sup.gave_up()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(sup.gave_up());
+  EXPECT_EQ(sup.restarts(), 0);
+  sup.stop();
+}
+
+#endif  // PDSLIN_WORKER_BIN
 
 }  // namespace
 }  // namespace pdslin

@@ -14,6 +14,7 @@
 #include "hypergraph/metrics.hpp"
 #include "hypergraph/recursive.hpp"
 #include "test_util.hpp"
+#include "util/error.hpp"
 
 namespace pdslin {
 namespace {
@@ -114,6 +115,41 @@ TEST(Bisect, GridColumnNetQuality) {
   const long long total = h.total_weight(0);
   EXPECT_LE(std::max(b.weight[0][0], b.weight[1][0]),
             static_cast<long long>(0.56 * static_cast<double>(total)));
+}
+
+TEST(Bisect, EmptyHypergraphThrows) {
+  Hypergraph h;  // zero vertices
+  EXPECT_THROW(bisect_hypergraph(h, HgBisectOptions{}), Error);
+}
+
+TEST(Bisect, AllZeroWeightsThrow) {
+  const CsrMatrix m = testing::from_dense({{1, 1, 0}, {0, 1, 1}});
+  Hypergraph h = column_net_model(m);
+  h.vwgt.assign(h.vwgt.size(), 0);
+  EXPECT_THROW(bisect_hypergraph(h, HgBisectOptions{}), Error);
+}
+
+TEST(Bisect, SingleVertexIsTrivialNotAnError) {
+  const CsrMatrix m = testing::from_dense({{1, 1, 1}});
+  const Hypergraph h = column_net_model(m);
+  const HgBisection b = bisect_hypergraph(h, HgBisectOptions{});
+  ASSERT_EQ(b.side.size(), 1u);
+  EXPECT_EQ(b.side[0], 0);
+  EXPECT_EQ(b.cut_cost, 0);
+}
+
+TEST(Coarsen, DeterministicMatchingMatchesAcrossThreadCounts) {
+  const CsrMatrix lap = testing::grid_laplacian(12, 12);
+  const Hypergraph h = column_net_model(lap);
+  const std::vector<index_t> m1 = heavy_connectivity_matching_det(h, 1);
+  const std::vector<index_t> m4 = heavy_connectivity_matching_det(h, 4);
+  EXPECT_EQ(m1, m4);
+  // The matching must actually coarsen a grid model, not stall.
+  index_t matched = 0;
+  for (index_t v = 0; v < h.num_vertices; ++v) {
+    if (m1[v] != v) ++matched;
+  }
+  EXPECT_GT(matched, h.num_vertices / 2);
 }
 
 TEST(Metrics, DefinitionsAndOrdering) {

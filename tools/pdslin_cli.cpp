@@ -10,6 +10,12 @@
 //   --static-weights          disable RHB dynamic weights
 //   -k N                      number of subdomains (power of 2) [8]
 //   --epsilon X               partition balance tolerance     [0.05]
+//   --partition-engine E      auto|multilevel|geometric       [auto]
+//   --partition-budget-ms X   partition latency budget (0 = unlimited;
+//                             exhausted budget degrades remaining subtrees
+//                             to the geometric/streaming fallback)    [0]
+//   --partition-min-quality Q fraction of top bisection levels immune to
+//                             budget degradation               [0]
 //   --rhs-ordering natural|postorder|hypergraph               [postorder]
 //   --block-size B            multi-RHS block size            [60]
 //   --drop-wg X / --drop-s X  dropping thresholds             [1e-6 / 1e-5]
@@ -131,6 +137,15 @@ int main(int argc, char** argv) {
       opt.num_subdomains = static_cast<index_t>(std::atoi(next()));
     } else if (arg == "--epsilon") {
       opt.partition_epsilon = std::atof(next());
+    } else if (arg == "--partition-engine") {
+      const std::string v = next();
+      if (!partition::engine_from_string(v, opt.partition_engine)) {
+        usage("unknown --partition-engine (auto|multilevel|geometric)");
+      }
+    } else if (arg == "--partition-budget-ms") {
+      opt.partition_budget_ms = std::atof(next());
+    } else if (arg == "--partition-min-quality") {
+      opt.partition_min_quality = std::atof(next());
     } else if (arg == "--rhs-ordering") {
       const std::string v = next();
       if (v == "natural") opt.assembly.rhs_ordering = RhsOrdering::Natural;
@@ -209,7 +224,8 @@ int main(int argc, char** argv) {
 
   SchurSolver solver(std::move(problem.a), opt);
   const CsrMatrix& a = solver.matrix();
-  solver.setup(problem.incidence.rows > 0 ? &problem.incidence : nullptr);
+  solver.setup(problem.incidence.rows > 0 ? &problem.incidence : nullptr,
+               problem.coords);
   solver.factor();
 
   Rng rng(opt.seed + 777);
@@ -225,6 +241,12 @@ int main(int argc, char** argv) {
   const SolverStats& st = solver.stats();
   const DbbdStats& ps = st.partition;
   std::printf("\n%s\n", st.summary().c_str());
+  std::printf("partition engine: %s (%lld multilevel / %lld fallback "
+              "subtrees%s, balance=%.3f)\n",
+              st.partition_engine.c_str(), st.partition_multilevel_subtrees,
+              st.partition_fallback_subtrees,
+              st.partition_budget_exhausted ? ", budget exhausted" : "",
+              st.partition_balance_ratio);
   std::printf("balance (max/min over %d subdomains): dim(D)=%s nnz(D)=%s "
               "col(E)=%s nnz(E)=%s\n",
               opt.num_subdomains,
