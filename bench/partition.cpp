@@ -11,7 +11,13 @@
 //   - a budget-limited run must finish within 2x of its cap (the cap is
 //     sized adaptively from the measured fallback + multilevel times, so
 //     the gate is meaningful on any host) and its partition must still
-//     pass check_partition — degradation trades quality, never validity.
+//     pass check_partition — degradation trades quality, never validity;
+//   - value-aware partitioning (--partition-values=logabs) must REDUCE the
+//     summed GMRES iteration count versus pattern-only at equal k on the
+//     adversarial families where magnitude contrast matters (aniso-spd
+//     coefficient jumps, arrow borders) under aggressive S̃ dropping — the
+//     net-weighting payoff of Vecharynski-Saad-Sosonkina applied to the
+//     hybrid solver's interface.
 //
 // Emits one "BENCH {json}" line per engine configuration.
 #include <algorithm>
@@ -20,6 +26,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "check/generators.hpp"
 #include "check/invariants.hpp"
 #include "obs/json.hpp"
 #include "core/dbbd.hpp"
@@ -27,6 +34,7 @@
 #include "partition/engine.hpp"
 #include "sparse/convert.hpp"
 #include "sparse/symmetrize.hpp"
+#include "util/rng.hpp"
 #include "util/timer.hpp"
 
 using namespace pdslin;
@@ -65,6 +73,50 @@ void emit_engine_report(const char* label, const GeneratedProblem& p,
   r.set_stat("budget_exhausted", st.budget_exhausted ? 1.0 : 0.0);
   r.set_stat("separator_size", static_cast<double>(st.separator_size));
   r.set_stat("balance_ratio", st.balance_ratio);
+  emit_bench_report(r);
+}
+
+/// Summed GMRES iterations over three seeds of one adversarial family at
+/// equal k, under aggressive dropping (where partition quality decides the
+/// S̃ preconditioner's strength). Deterministic: fixed seeds, serial solve.
+long long family_iterations(check::Family fam, partition::ValueMode vm) {
+  long long total = 0;
+  for (const std::uint64_t seed : {1ull, 7ull, 13ull}) {
+    check::CaseSpec spec;
+    spec.family = fam;
+    spec.n = 400;
+    spec.seed = seed;
+    spec.num_subdomains = 8;
+    spec.partitioning = PartitionMethod::RHB;
+    spec.exact_assembly = false;
+    const GeneratedProblem prob = check::build_case(spec);
+    SolverOptions opt = check::solver_options_for(spec);
+    opt.partition_values = vm;
+    opt.assembly.drop_wg = 5e-2;
+    opt.assembly.drop_s = 0.3;
+    SchurSolver solver(prob.a, opt);
+    solver.setup(prob.incidence.rows > 0 ? &prob.incidence : nullptr);
+    solver.factor();
+    Rng rng(99);
+    std::vector<value_t> b(static_cast<std::size_t>(prob.a.rows));
+    for (value_t& v : b) v = rng.uniform(-1.0, 1.0);
+    std::vector<value_t> x(b.size(), 0.0);
+    const GmresResult r = solver.solve(b, x);
+    expect(r.converged, "value-weighting gate solve converged");
+    total += r.iterations;
+  }
+  return total;
+}
+
+void emit_value_report(check::Family fam, partition::ValueMode vm,
+                       long long iterations) {
+  obs::RunReport r;
+  r.tool = "bench/partition";
+  r.matrix = check::to_string(fam);
+  r.set_config("engine", "rhb-multilevel");
+  r.set_config("partition_values", partition::to_string(vm));
+  r.set_config("num_subdomains", "8");
+  r.set_stat("gmres_iterations", static_cast<double>(iterations));
   emit_bench_report(r);
 }
 
@@ -163,6 +215,24 @@ int main() {
     check::check_partition(p.a, dbbd, rep);
     expect(rep.ok(), "budgeted partition passes check_partition");
     if (!rep.ok()) std::printf("%s\n", rep.summary().c_str());
+  }
+
+  // --- gate 4: value-aware partitioning pays on magnitude-contrast ------
+  // families (equal k, aggressive dropping). Pattern-only vs logabs on the
+  // SPD coefficient-jump Laplacian and the arrow matrix.
+  std::printf("  value-aware partitioning (3 seeds each, k=8, drop_s=0.3):\n");
+  for (const check::Family fam :
+       {check::Family::AnisoSpd, check::Family::Arrow}) {
+    const long long off =
+        family_iterations(fam, partition::ValueMode::Off);
+    const long long logabs =
+        family_iterations(fam, partition::ValueMode::LogAbs);
+    emit_value_report(fam, partition::ValueMode::Off, off);
+    emit_value_report(fam, partition::ValueMode::LogAbs, logabs);
+    std::printf("    %-18s pattern-only %lld iters, logabs %lld iters\n",
+                check::to_string(fam), off, logabs);
+    expect(logabs < off,
+           "value-weighted partition reduces GMRES iterations at equal k");
   }
 
   if (failures > 0) {

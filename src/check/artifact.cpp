@@ -36,7 +36,11 @@ std::string artifact_to_json(const CaseSpec& spec, const CheckReport* report) {
      << "    \"levelset_trisolve\": "
      << (spec.levelset_trisolve ? "true" : "false") << ",\n"
      << "    \"partition_engine\": \"" << to_string(spec.partition_engine)
-     << "\"\n"
+     << "\",\n"
+     << "    \"partition_values\": \""
+     << partition::to_string(spec.partition_values) << "\",\n"
+     << "    \"adaptive_sigma\": " << (spec.adaptive_sigma ? "true" : "false")
+     << "\n"
      << "  }";
   if (report != nullptr && !report->ok()) {
     os << ",\n  \"violations\": [\n";
@@ -108,6 +112,17 @@ CaseSpec artifact_from_json(std::string_view text) {
         pe->is_string() &&
             partition_engine_from_string(pe->str, spec.partition_engine),
         "unknown partition_engine in artifact");
+  }
+  // Optional for corpus files written before the value_adapt axis existed;
+  // those ran pattern-only partitioning with the static σ.
+  if (const obsjson::Value* pv = s.find("partition_values")) {
+    PDSLIN_CHECK_MSG(
+        pv->is_string() &&
+            partition::value_mode_from_string(pv->str, spec.partition_values),
+        "unknown partition_values in artifact");
+  }
+  if (const obsjson::Value* as = s.find("adaptive_sigma")) {
+    spec.adaptive_sigma = as->boolean;
   }
 
   PDSLIN_CHECK_MSG(spec.n >= 8 && spec.n <= 4096, "artifact n out of range");

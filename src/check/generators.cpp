@@ -30,6 +30,8 @@ constexpr struct {
     {Family::NearSingular, "near-singular"},
     {Family::SingularBlock, "singular-block"},
     {Family::Arrow, "arrow"},
+    {Family::AnisoSpd, "aniso-spd"},
+    {Family::ShiftedLaplacian, "shifted-laplacian"},
 };
 
 /// Pattern-symmetric random matrix assembled straight into COO.
@@ -171,7 +173,10 @@ std::string CaseSpec::to_string() const {
      << (partition_engine != PartitionEngineAxis::Multilevel
              ? std::string("/") + check::to_string(partition_engine)
              : "")
-     << (serve ? "/serve" : "");
+     << (partition_values != partition::ValueMode::Off
+             ? std::string("/pv-") + partition::to_string(partition_values)
+             : "")
+     << (adaptive_sigma ? "/adapt" : "") << (serve ? "/serve" : "");
   return os.str();
 }
 
@@ -319,6 +324,89 @@ GeneratedProblem build_case(const CaseSpec& spec) {
       p.value_symmetric = false;
       break;
     }
+    case Family::AnisoSpd: {
+      // 5-point FD of −div(κ(x,y)∇u) with anisotropy and piecewise-constant
+      // coefficient jumps of ~1e3 across random tiles: the classic hard SPD
+      // preconditioning target, and the family where value-weighted
+      // partitioning pays (strong κ couplings stay interior). SPD by
+      // construction — symmetric, diagonally dominant with a positive shift.
+      const auto nx = static_cast<index_t>(
+          std::max(2.0, std::round(std::sqrt(static_cast<double>(n)))));
+      const index_t ny = std::max<index_t>(2, (n + nx - 1) / nx);
+      // Per-cell coefficient: 4×4 tiles flip between 1 and ~1e3; the x/y
+      // anisotropy skews the two edge directions by another 10×.
+      const index_t tiles_x = std::max<index_t>(1, nx / 4);
+      const index_t tiles_y = std::max<index_t>(1, ny / 4);
+      std::vector<double> kappa(
+          static_cast<std::size_t>(tiles_x) * tiles_y);
+      for (double& k : kappa) k = rng.uniform() < 0.5 ? 1.0 : 1e3;
+      const double ax = 1.0, ay = 0.1;
+      auto coef = [&](index_t x, index_t y) {
+        const index_t tx = std::min(tiles_x - 1, x / 4);
+        const index_t ty = std::min(tiles_y - 1, y / 4);
+        return kappa[static_cast<std::size_t>(ty) * tiles_x + tx];
+      };
+      CooMatrix coo(nx * ny, nx * ny);
+      auto id = [&](index_t x, index_t y) { return y * nx + x; };
+      std::vector<double> diag(static_cast<std::size_t>(nx) * ny, 0.0);
+      auto edge = [&](index_t u, index_t v, double w) {
+        coo.add(u, v, -w);
+        coo.add(v, u, -w);
+        diag[static_cast<std::size_t>(u)] += w;
+        diag[static_cast<std::size_t>(v)] += w;
+      };
+      for (index_t y = 0; y < ny; ++y) {
+        for (index_t x = 0; x < nx; ++x) {
+          // Harmonic mean of the two cell coefficients — the standard FD
+          // treatment of a jump across the edge.
+          if (x + 1 < nx) {
+            const double k0 = coef(x, y), k1 = coef(x + 1, y);
+            edge(id(x, y), id(x + 1, y), ax * 2.0 * k0 * k1 / (k0 + k1));
+          }
+          if (y + 1 < ny) {
+            const double k0 = coef(x, y), k1 = coef(x, y + 1);
+            edge(id(x, y), id(x, y + 1), ay * 2.0 * k0 * k1 / (k0 + k1));
+          }
+        }
+      }
+      for (index_t v = 0; v < nx * ny; ++v) {
+        coo.add(v, v, diag[static_cast<std::size_t>(v)] + 0.05);
+      }
+      p.a = coo_to_csr(coo);
+      p.positive_definite = true;
+      p.value_symmetric = true;
+      break;
+    }
+    case Family::ShiftedLaplacian: {
+      // Grid Laplacian minus a shift inside its spectrum (0, 8): symmetric
+      // *indefinite* — the Helmholtz-like regime where both signs of
+      // eigenvalue stress the LU(S̃) preconditioner and the Krylov solves.
+      // The random fractional shift keeps the matrix safely away from exact
+      // eigenvalues of the finite grid.
+      const auto nx = static_cast<index_t>(
+          std::max(2.0, std::round(std::sqrt(static_cast<double>(n)))));
+      const index_t ny = std::max<index_t>(2, (n + nx - 1) / nx);
+      const double shift = 1.9 + 0.17 * rng.uniform();
+      CooMatrix coo(nx * ny, nx * ny);
+      auto id = [&](index_t x, index_t y) { return y * nx + x; };
+      for (index_t y = 0; y < ny; ++y) {
+        for (index_t x = 0; x < nx; ++x) {
+          const index_t v = id(x, y);
+          coo.add(v, v, 4.0 - shift);
+          if (x + 1 < nx) {
+            coo.add(v, id(x + 1, y), -1.0);
+            coo.add(id(x + 1, y), v, -1.0);
+          }
+          if (y + 1 < ny) {
+            coo.add(v, id(x, y + 1), -1.0);
+            coo.add(id(x, y + 1), v, -1.0);
+          }
+        }
+      }
+      p.a = coo_to_csr(coo);
+      p.value_symmetric = true;
+      break;
+    }
   }
   p.a.validate();
   PDSLIN_CHECK_MSG(p.a.rows == p.a.cols, "fuzz case must be square");
@@ -332,10 +420,11 @@ CaseSpec sample_case(std::uint64_t base_seed, int i) {
 
   // Problem axes: random.
   static constexpr Family kPool[] = {
-      Family::Grid,         Family::RandomDiagDom, Family::PatternSym,
-      Family::SuiteTdr,     Family::SuiteAsic,     Family::BlockDiag,
-      Family::DenseRow,     Family::Duplicates,    Family::NearSingular,
-      Family::SingularBlock, Family::Arrow,
+      Family::Grid,          Family::RandomDiagDom,    Family::PatternSym,
+      Family::SuiteTdr,      Family::SuiteAsic,        Family::BlockDiag,
+      Family::DenseRow,      Family::Duplicates,       Family::NearSingular,
+      Family::SingularBlock, Family::Arrow,            Family::AnisoSpd,
+      Family::ShiftedLaplacian,
   };
   spec.family = kPool[rng.bounded(std::size(kPool))];
   spec.n = 24 + static_cast<index_t>(rng.bounded(170));  // 24 … 193
@@ -376,6 +465,28 @@ CaseSpec sample_case(std::uint64_t base_seed, int i) {
       break;
     default:
       spec.partition_engine = PartitionEngineAxis::Multilevel;
+      break;
+  }
+  // value_adapt axis cycles mod 11 (coprime with 64, 3, 5 and 7): pattern-
+  // only keeps the majority share; the value-weighted lanes (abs / logabs)
+  // and the adaptive-σ lanes (alone and combined with logabs) are each
+  // sampled 1-in-11, so every (engine, value-mode, adapt) pair is hit over
+  // a few hundred seeds.
+  switch (c % 11u) {
+    case 3u:
+      spec.partition_values = partition::ValueMode::LogAbs;
+      break;
+    case 6u:
+      spec.partition_values = partition::ValueMode::Abs;
+      break;
+    case 8u:
+      spec.partition_values = partition::ValueMode::LogAbs;
+      spec.adaptive_sigma = true;
+      break;
+    case 9u:
+      spec.adaptive_sigma = true;
+      break;
+    default:
       break;
   }
   return spec;
@@ -425,6 +536,7 @@ SolverOptions solver_options_for(const CaseSpec& spec) {
       opt.partition_budget_ms = -1.0;
       break;
   }
+  opt.partition_values = spec.partition_values;
   if (spec.exact_assembly) {
     opt.assembly.drop_wg = 0.0;
     opt.assembly.drop_s = 0.0;

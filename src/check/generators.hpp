@@ -31,6 +31,8 @@ enum class Family {
   NearSingular,   // two almost linearly dependent rows (cond ~1e10)
   SingularBlock,  // exactly repeated row — truly singular
   Arrow,          // arrow matrix: diagonal + dense border
+  AnisoSpd,       // SPD anisotropic FEM Laplacian with 1e3 coefficient jumps
+  ShiftedLaplacian,  // grid Laplacian − shift·I: symmetric indefinite
 };
 
 const char* to_string(Family f);
@@ -93,6 +95,15 @@ struct CaseSpec {
   bool levelset_trisolve = false;
   /// Which partition engine lane computes the DBBD partition.
   PartitionEngineAxis partition_engine = PartitionEngineAxis::Multilevel;
+  /// Value-aware partitioning lane (--partition-values): weight nets/graph
+  /// edges by bucketed |a_ij| magnitudes. Off keeps the pattern-only
+  /// default; value-weighted parallel lanes are re-run serial and diffed
+  /// bitwise by the differential runner.
+  partition::ValueMode partition_values = partition::ValueMode::Off;
+  /// Adaptive-σ lane: the served path runs with the self-tuning drop
+  /// controller enabled (serve/adapt.hpp). The warm answer must stay
+  /// bitwise equal to a direct solve at the response's tuned_drop_s.
+  bool adaptive_sigma = false;
 
   /// Short id, e.g. "random-diag-dom/n64/seed7/RHB/k4/t3/nrhs2/exact".
   [[nodiscard]] std::string to_string() const;

@@ -91,11 +91,26 @@ bool default_partition_engine(CaseSpec& s) {
   s.partition_engine = PartitionEngineAxis::Multilevel;
   return true;
 }
+/// Fall back to pattern-only partitioning: a failure that survives without
+/// |a_ij| net weighting is not the value-weighting lane's fault.
+bool pattern_only_partition(CaseSpec& s) {
+  if (s.partition_values == partition::ValueMode::Off) return false;
+  s.partition_values = partition::ValueMode::Off;
+  return true;
+}
+/// Disable the adaptive-σ controller: a failure that survives at the static
+/// drop tolerance is not the controller's fault.
+bool static_sigma(CaseSpec& s) {
+  if (!s.adaptive_sigma) return false;
+  s.adaptive_sigma = false;
+  return true;
+}
 
 constexpr Candidate kLadder[] = {
     halve_n, halve_subdomains, single_rhs, no_serve,       serial,
     gmres_only, sparsify,      shave_n,    ngd_partitioner, simpler_lu_kernel,
-    serial_trisolve, default_partition_engine,
+    serial_trisolve, default_partition_engine, pattern_only_partition,
+    static_sigma,
 };
 
 }  // namespace

@@ -77,13 +77,19 @@ void SchurSolver::setup(const CsrMatrix* incidence,
   std::vector<index_t> part;
   std::vector<index_t> separator_order;  // NGD elimination order when known
   partition::Stats pstats;
+  const bool value_weighted =
+      opt_.partition_values != partition::ValueMode::Off;
   if (opt_.partitioning == PartitionMethod::NGD) {
     PDSLIN_SPAN("setup.ngd");
-    const CsrMatrix sym = symmetrize_abs(pattern_of(a_));
+    // Value mode keeps the |A| + |Aᵀ| magnitudes so edges can be bucketed;
+    // the sparsity pattern (and hence the graph) is identical either way.
+    const CsrMatrix sym =
+        value_weighted ? symmetrize_abs(a_) : symmetrize_abs(pattern_of(a_));
     Graph g = graph_from_matrix(sym);
     if (opt_.ngd_weighted) {
       for (index_t v = 0; v < g.n; ++v) g.vwgt[v] = sym.row_nnz(v);
     }
+    apply_value_weights(g, sym, opt_.partition_values);
     NgdOptions nopt;
     nopt.num_parts = opt_.num_subdomains;
     nopt.epsilon = opt_.partition_epsilon;
@@ -111,6 +117,35 @@ void SchurSolver::setup(const CsrMatrix* incidence,
     ropt.epsilon = opt_.partition_epsilon;
     ropt.seed = opt_.seed;
     ropt.threads = opt_.threads;
+    // Value-weighted nets: each unknown (column of M) is weighted by the
+    // strongest |a_ij| coupling it participates in, bucketed onto small
+    // integers — cutting a strongly coupled unknown into the separator
+    // costs more, so RHB prefers separating weak couplings.
+    std::vector<index_t> col_value;
+    if (value_weighted) {
+      std::vector<double> mag(static_cast<std::size_t>(a_.rows), 0.0);
+      double maxabs = 0.0;
+      for (index_t i = 0; i < a_.rows; ++i) {
+        for (index_t p = a_.row_ptr[i]; p < a_.row_ptr[i + 1]; ++p) {
+          const index_t j = a_.col_idx[p];
+          if (j == i) continue;
+          const double v = std::abs(a_.values[p]);
+          mag[static_cast<std::size_t>(i)] =
+              std::max(mag[static_cast<std::size_t>(i)], v);
+          mag[static_cast<std::size_t>(j)] =
+              std::max(mag[static_cast<std::size_t>(j)], v);
+          maxabs = std::max(maxabs, v);
+        }
+      }
+      col_value.resize(static_cast<std::size_t>(a_.rows));
+      for (index_t j = 0; j < a_.rows; ++j) {
+        col_value[static_cast<std::size_t>(j)] =
+            static_cast<index_t>(partition::value_weight(
+                mag[static_cast<std::size_t>(j)], maxabs,
+                opt_.partition_values));
+      }
+      eng.col_value = col_value;
+    }
     partition::EngineResult r = partition::rhb_engine(*m, ropt, eng);
     part = std::move(r.unknowns.part);
     pstats = r.stats;
@@ -132,6 +167,7 @@ void SchurSolver::setup(const CsrMatrix* incidence,
   if (pstats.budget_exhausted) obs::counter("partition.budget.exhausted").add();
   obs::gauge("partition.balance_ratio").set(pstats.balance_ratio);
   obs::gauge("partition.elapsed_ms").set(pstats.elapsed_ms);
+  obs::gauge("partition.value_weighted").set(value_weighted ? 1.0 : 0.0);
   stats_.partition = dbbd_stats(a_, dbbd_);
   stats_.schur_dim = dbbd_.separator_size();
   setup_done_ = true;

@@ -49,6 +49,12 @@ struct SolverOptions {
   /// partition::Budget::min_quality — fraction of the top bisection levels
   /// immune to budget degradation.
   double partition_min_quality = 0.0;
+  /// Value-aware partitioning (--partition-values, docs/PARTITION.md):
+  /// weight hyperedges/graph edges by log- or linearly-bucketed |a_ij|
+  /// magnitudes so the partitioner prefers cutting weak couplings
+  /// (Vecharynski–Saad–Sosonkina). Off = pattern-only (the default).
+  /// Setup-affecting: part of the serve fingerprint.
+  partition::ValueMode partition_values = partition::ValueMode::Off;
   SchurAssemblyOptions assembly;
   KrylovMethod krylov = KrylovMethod::Gmres;
   GmresOptions gmres;

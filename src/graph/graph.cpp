@@ -1,6 +1,7 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 
 #include "util/error.hpp"
@@ -50,6 +51,34 @@ Graph graph_from_matrix(const CsrMatrix& a) {
   g.vwgt.assign(g.n, 1);
   g.ewgt.assign(g.adj.size(), 1);
   return g;
+}
+
+void apply_value_weights(Graph& g, const CsrMatrix& sym,
+                         partition::ValueMode mode) {
+  if (mode == partition::ValueMode::Off) return;
+  PDSLIN_CHECK_MSG(sym.rows == g.n && sym.cols == g.n,
+                   "value weighting requires the graph's source matrix");
+  PDSLIN_CHECK_MSG(sym.has_values(),
+                   "value weighting requires a valued matrix");
+  double maxabs = 0.0;
+  for (index_t i = 0; i < sym.rows; ++i) {
+    for (index_t p = sym.row_ptr[i]; p < sym.row_ptr[i + 1]; ++p) {
+      if (sym.col_idx[p] == i) continue;
+      maxabs = std::max(maxabs, std::abs(sym.values[p]));
+    }
+  }
+  // Walk rows in graph_from_matrix order so the p-th off-diagonal entry of
+  // row i lines up with the p-th adjacency slot of vertex i. The source is
+  // |A| + |Aᵀ| (numerically symmetric), so both directions of an edge get
+  // the same bucket.
+  std::vector<index_t> next(g.adj_ptr.begin(), g.adj_ptr.end() - 1);
+  for (index_t i = 0; i < sym.rows; ++i) {
+    for (index_t p = sym.row_ptr[i]; p < sym.row_ptr[i + 1]; ++p) {
+      if (sym.col_idx[p] == i) continue;
+      g.ewgt[next[i]++] = static_cast<index_t>(
+          partition::value_weight(std::abs(sym.values[p]), maxabs, mode));
+    }
+  }
 }
 
 long long edge_cut(const Graph& g, const std::vector<signed char>& side) {

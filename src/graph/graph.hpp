@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "partition/types.hpp"
 #include "sparse/csr.hpp"
 
 namespace pdslin {
@@ -30,6 +31,15 @@ struct Graph {
 /// (diagonal ignored). Vertex weights are 1; edge weights are 1.
 /// Pass the output of symmetrize_abs() for unsymmetric matrices.
 Graph graph_from_matrix(const CsrMatrix& a);
+
+/// Value-aware NGD (--partition-values): re-weight g's edges from the
+/// off-diagonal magnitudes of `sym` — the same structurally/numerically
+/// symmetric matrix (|A| + |Aᵀ|) the graph was built from. Each edge gets
+/// the integer bucket of its |value| relative to the largest off-diagonal
+/// magnitude (partition::value_weight), so FM gains and edge cuts prefer
+/// keeping strong couplings interior. No-op for ValueMode::Off.
+void apply_value_weights(Graph& g, const CsrMatrix& sym,
+                         partition::ValueMode mode);
 
 /// Sum of edge weights crossing the two sides (side[v] in {0,1}).
 long long edge_cut(const Graph& g, const std::vector<signed char>& side);

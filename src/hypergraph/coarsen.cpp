@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <numeric>
 #include <unordered_map>
 
@@ -9,6 +10,31 @@
 #include "util/error.hpp"
 
 namespace pdslin {
+
+namespace {
+
+// Saturating adds for connectivity scores and merged net costs. Net costs
+// compound: identical-net merging adds them at every coarsening level, and
+// with --partition-values they start at |a_ij|-derived buckets instead of 1
+// — on adversarial inputs the running sums can reach the index_t ceiling,
+// where wrapping would be signed-overflow UB *and* flip match/FM
+// comparisons. Clamping keeps the comparison order sane (anything at the
+// ceiling is "as heavy as representable") and stays deterministic.
+long long sat_add_score(long long a, long long b) {
+  if (a > std::numeric_limits<long long>::max() - b) {
+    return std::numeric_limits<long long>::max();
+  }
+  return a + b;
+}
+
+index_t sat_add_cost(index_t a, index_t b) {
+  if (a > std::numeric_limits<index_t>::max() - b) {
+    return std::numeric_limits<index_t>::max();
+  }
+  return a + b;
+}
+
+}  // namespace
 
 std::vector<index_t> heavy_connectivity_matching(const Hypergraph& h, Rng& rng) {
   std::vector<index_t> order(h.num_vertices);
@@ -32,7 +58,7 @@ std::vector<index_t> heavy_connectivity_matching(const Hypergraph& h, Rng& rng) 
       for (index_t u : pin_span) {
         if (u == v || match[u] >= 0) continue;
         if (score[u] == 0) touched.push_back(u);
-        score[u] += c;
+        score[u] = sat_add_score(score[u], c);
       }
     }
     index_t best = -1;
@@ -97,7 +123,7 @@ std::vector<index_t> heavy_connectivity_matching_det(const Hypergraph& h,
           for (index_t u : pin_span) {
             if (u == v || match[u] >= 0) continue;
             if (score[u] == 0) touched.push_back(u);
-            score[u] += c;
+            score[u] = sat_add_score(score[u], c);
           }
         }
         index_t best = -1;
@@ -196,7 +222,8 @@ HgCoarsening contract(const Hypergraph& h, const std::vector<index_t>& match) {
                                      hc.net_ptr[existing]));
         if (existing_pins.size() == buf.size() &&
             std::equal(existing_pins.begin(), existing_pins.end(), buf.begin())) {
-          hc.net_cost[existing] += h.net_cost[n];
+          hc.net_cost[existing] =
+              sat_add_cost(hc.net_cost[existing], h.net_cost[n]);
           merged = true;
           break;
         }

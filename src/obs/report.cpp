@@ -72,6 +72,7 @@ void RunReport::add_solver(const SolverOptions& opt, const SolverStats& st) {
   set_config("partition_engine", partition::to_string(opt.partition_engine));
   set_config("partition_budget_ms",
              json::number_to_string(opt.partition_budget_ms));
+  set_config("partition_values", partition::to_string(opt.partition_values));
   set_config("seed", std::to_string(opt.seed));
 
   set_phase("partition", st.partition_seconds);

@@ -375,7 +375,18 @@ EngineResult rhb_engine(const CsrMatrix& m, const RhbOptions& opt,
   root.m = pattern_of(m);
   root.row_ids.resize(m.rows);
   std::iota(root.row_ids.begin(), root.row_ids.end(), 0);
-  root.col_cost.assign(m.cols, opt.metric == CutMetric::Soed ? 2 : 1);
+  if (eng.col_value.empty()) {
+    root.col_cost.assign(m.cols, opt.metric == CutMetric::Soed ? 2 : 1);
+  } else {
+    PDSLIN_CHECK_MSG(eng.col_value.size() == static_cast<std::size_t>(m.cols),
+                     "col_value must hold one weight per unknown");
+    // Value-weighted nets: seed each column's cost from its |a_ij| bucket.
+    // Soed keeps its ×2 so the (cost+1)/2 halving of cut nets stays exact.
+    root.col_cost.assign(eng.col_value.begin(), eng.col_value.end());
+    if (opt.metric == CutMetric::Soed) {
+      for (index_t& c : root.col_cost) c *= 2;
+    }
+  }
   const CscMatrix mc = csr_to_csc(m);
 
   // Fallback inputs: per-row weight (nnz) always; element centroids (mean

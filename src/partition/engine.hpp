@@ -35,6 +35,15 @@ struct EngineOptions {
   /// the dissection graph). Empty → no geometry; the fallback degrades to a
   /// streaming weighted index split.
   std::span<const double> coords;
+  /// Value-aware RHB (--partition-values): per-column-of-M integer weight in
+  /// [1, kValueWeightMax], bucketed from |a_ij| magnitudes by the caller
+  /// (value_weight in partition/types.hpp). Empty → pattern-only, every net
+  /// costs 1. The weights seed the root net costs and flow through the
+  /// metric's net-inheritance (soed halving, cnet discarding), coarsening
+  /// match scores, and FM gains unchanged — all integer arithmetic, so the
+  /// bitwise thread-count contract is preserved. NGD consumes value weights
+  /// through Graph::ewgt instead (graph/graph.hpp apply_value_weights).
+  std::span<const index_t> col_value;
 };
 
 struct EngineResult {

@@ -1,0 +1,83 @@
+#include "serve/adapt.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace pdslin::serve {
+
+AdaptiveDropController::AdaptiveDropController(AdaptConfig cfg) : cfg_(cfg) {}
+
+double AdaptiveDropController::tuned_sigma(const SetupKey& key,
+                                           double static_sigma) {
+  if (!cfg_.enabled) return static_sigma;
+  std::lock_guard<std::mutex> lock(mu_);
+  const SetupKey cls = key.symbolic();
+  auto it = classes_.find(cls);
+  if (it == classes_.end()) {
+    if (classes_.size() >= cfg_.max_classes && !classes_.empty()) {
+      classes_.erase(classes_.begin());
+    }
+    AdaptState fresh;
+    fresh.sigma = std::clamp(static_sigma, cfg_.sigma_min, cfg_.sigma_max);
+    it = classes_.emplace(cls, fresh).first;
+    obs::gauge("adapt.classes").set(static_cast<double>(classes_.size()));
+  }
+  return it->second.sigma;
+}
+
+void AdaptiveDropController::observe(const SetupKey& key,
+                                     double mean_iterations, bool converged) {
+  if (!cfg_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = classes_.find(key.symbolic());
+  if (it == classes_.end()) return;
+  AdaptState& st = it->second;
+  ++st.observations;
+  ++stats_.observations;
+  obs::counter("adapt.observations").add();
+  // A non-converged hybrid solve counts as maximally slow: tighten.
+  const bool slow = !converged || mean_iterations > cfg_.target_high;
+  const bool fast = converged && mean_iterations < cfg_.target_low;
+  if (slow && st.sigma > cfg_.sigma_min) {
+    st.sigma = std::max(cfg_.sigma_min, st.sigma * cfg_.tighten_factor);
+    ++st.tightened;
+    ++stats_.tightened;
+    obs::counter("adapt.tightened").add();
+    // A tighten after a relax means the relax overshot the band — freeze at
+    // the tightened value so the class cannot ping-pong around the band.
+    if (st.relaxed > 0) st.frozen = true;
+  } else if (fast && !st.frozen && st.tightened == 0 &&
+             st.sigma < cfg_.sigma_max) {
+    // Only relax classes that never needed tightening: relaxing is an
+    // optimization (cheaper factors), tightening is a correctness-of-
+    // service move, and the ratchet keeps the two from alternating.
+    st.sigma = std::min(cfg_.sigma_max, st.sigma * cfg_.relax_factor);
+    ++st.relaxed;
+    ++stats_.relaxed;
+    obs::counter("adapt.relaxed").add();
+  }
+  obs::gauge("adapt.sigma").set(st.sigma);
+}
+
+void AdaptiveDropController::note_rebuild() {
+  if (!cfg_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.rebuilds;
+  obs::counter("adapt.rebuilds").add();
+}
+
+AdaptState AdaptiveDropController::state(const SetupKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = classes_.find(key.symbolic());
+  return it == classes_.end() ? AdaptState{} : it->second;
+}
+
+AdaptStats AdaptiveDropController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  AdaptStats s = stats_;
+  s.classes = classes_.size();
+  return s;
+}
+
+}  // namespace pdslin::serve

@@ -33,6 +33,7 @@
 #include <mutex>
 #include <thread>
 
+#include "serve/adapt.hpp"
 #include "serve/batcher.hpp"
 #include "serve/factor_cache.hpp"
 
@@ -45,6 +46,11 @@ struct ServiceConfig {
   unsigned workers = 2;
   BatcherConfig batcher;
   FactorCacheConfig cache;
+  /// Self-tuning S̃ drop tolerance (serve/adapt.hpp, docs/SERVE.md). Off by
+  /// default; when enabled, observed Krylov iteration counts nudge σ per
+  /// matrix class within [sigma_min, sigma_max] and stale cache entries are
+  /// rebuilt at the tuned σ (replacing, never duplicating, their entry).
+  AdaptConfig adapt;
   /// Ablation switches (bench/serve measures both off vs. both on).
   bool enable_cache = true;
   bool enable_batching = true;
@@ -98,6 +104,7 @@ class SolveService {
 
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] FactorCache& cache() { return cache_; }
+  [[nodiscard]] AdaptiveDropController& adapt() { return adapt_; }
   [[nodiscard]] const ServiceConfig& config() const { return cfg_; }
 
  private:
@@ -109,6 +116,7 @@ class SolveService {
 
   ServiceConfig cfg_;
   FactorCache cache_;
+  AdaptiveDropController adapt_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_queue_;  // dispatcher: work available / stopping

@@ -168,6 +168,100 @@ TEST(SchurAssembly, DroppingShrinksTTildeMonotonically) {
   EXPECT_GT(brutal, 0);
 }
 
+TEST(SchurAssembly, ZeroRelTolKeepsEveryNonzero) {
+  // rel_tol = 0 is the exact-assembly contract: cut = 0·cmax = 0, so every
+  // structural nonzero survives and only exact zeros are removed.
+  CooMatrix coo(5, 3);
+  coo.add(0, 0, 1e-300);
+  coo.add(1, 0, -1e300);
+  coo.add(2, 0, 1.0);
+  coo.add(3, 1, 1e-30);
+  coo.add(4, 2, 0.0);  // exact zero: the only entry that may go
+  const CscMatrix out = drop_small_columns(coo_to_csc(coo), 0.0);
+  EXPECT_EQ(out.col_nnz(0), 3);
+  EXPECT_EQ(out.col_nnz(1), 1);
+  EXPECT_EQ(out.col_nnz(2), 0);
+
+  // Same contract through assemble_schur: with no subdomain updates and
+  // drop_s = 0 the assembled S̃ is the separator block, entry for entry.
+  CooMatrix cb(3, 3);
+  cb.add(0, 0, 1e-200);
+  cb.add(0, 2, -5.0);
+  cb.add(1, 1, 1e-9);
+  cb.add(2, 0, 3.0);
+  cb.add(2, 2, 1e-100);
+  const CsrMatrix c_block = coo_to_csr(cb);
+  const CsrMatrix s =
+      assemble_schur(c_block, {}, {}, /*drop_s=*/0.0);
+  EXPECT_EQ(s.row_ptr, c_block.row_ptr);
+  EXPECT_EQ(s.col_idx, c_block.col_idx);
+  EXPECT_EQ(s.values, c_block.values);
+}
+
+TEST(SchurAssembly, AllZeroColumnIsDroppedWithoutIncident) {
+  // cmax == 0 edge: the relative cut degenerates to 0 and the v != 0 guard
+  // must carry the whole decision — no 0/0, no survivors, for any rel_tol.
+  CooMatrix coo(3, 2);
+  coo.add(0, 0, 0.0);
+  coo.add(1, 0, 0.0);
+  coo.add(2, 0, 0.0);
+  coo.add(1, 1, 2.0);
+  for (const double tol : {0.0, 1e-6, 1.0}) {
+    const CscMatrix out = drop_small_columns(coo_to_csc(coo), tol);
+    EXPECT_EQ(out.col_nnz(0), 0) << "tol=" << tol;
+    EXPECT_EQ(out.col_nnz(1), 1) << "tol=" << tol;
+  }
+}
+
+TEST(SchurAssembly, DiagonalKeptUnderRowParallelSweeps) {
+  // Tiny diagonals under a cut that would drop them: the diagonal is always
+  // kept (LU(S̃) needs it), and the row-parallel two-pass sweep must agree
+  // bitwise with the serial sweep on exactly which entries survive.
+  const index_t ns = 16;
+  CooMatrix cb(ns, ns);
+  for (index_t i = 0; i < ns; ++i) {
+    cb.add(i, i, 1e-12);  // far below every row cut
+    cb.add(i, (i + 1) % ns, 100.0 + i);
+    cb.add(i, (i + 5) % ns, i % 3 == 0 ? 1e-6 : 50.0);  // some get dropped
+  }
+  const CsrMatrix c_block = coo_to_csr(cb);
+  const CsrMatrix serial =
+      assemble_schur(c_block, {}, {}, /*drop_s=*/0.5, /*threads=*/1);
+  for (index_t i = 0; i < ns; ++i) {
+    bool has_diag = false;
+    for (index_t q = serial.row_ptr[i]; q < serial.row_ptr[i + 1]; ++q) {
+      has_diag = has_diag || serial.col_idx[q] == i;
+    }
+    EXPECT_TRUE(has_diag) << "row " << i << " lost its diagonal";
+  }
+  for (const unsigned threads : {2u, 4u}) {
+    const CsrMatrix par =
+        assemble_schur(c_block, {}, {}, /*drop_s=*/0.5, threads);
+    EXPECT_EQ(par.row_ptr, serial.row_ptr) << "threads=" << threads;
+    EXPECT_EQ(par.col_idx, serial.col_idx) << "threads=" << threads;
+    EXPECT_EQ(par.values, serial.values) << "threads=" << threads;
+  }
+
+  // And on a real fixture end to end: the full pipeline's S̃ is thread-count
+  // independent at a dropping tolerance.
+  const Fixture s = make_setup(10, 2);
+  SchurAssemblyOptions opt;
+  opt.drop_wg = 0.0;
+  opt.drop_s = 1e-3;
+  std::vector<Subdomain> subs;
+  std::vector<SubdomainFactorization> facts;
+  for (index_t l = 0; l < 2; ++l) {
+    subs.push_back(extract_subdomain(s.a, s.dbbd, l));
+    facts.push_back(assemble_subdomain(subs.back(), opt));
+  }
+  const CsrMatrix block = extract_separator_block(s.a, s.dbbd);
+  const CsrMatrix t1 = assemble_schur(block, subs, facts, 1e-3, 1);
+  const CsrMatrix t4 = assemble_schur(block, subs, facts, 1e-3, 4);
+  EXPECT_EQ(t1.row_ptr, t4.row_ptr);
+  EXPECT_EQ(t1.col_idx, t4.col_idx);
+  EXPECT_EQ(t1.values, t4.values);
+}
+
 TEST(SchurAssembly, StatsArePopulated) {
   const Fixture s = make_setup(12, 2);
   SchurAssemblyOptions opt;

@@ -16,6 +16,8 @@
 //                             to the geometric/streaming fallback)    [0]
 //   --partition-min-quality Q fraction of top bisection levels immune to
 //                             budget degradation               [0]
+//   --partition-values M      off|abs|logabs — weight hyperedges/graph
+//                             edges by bucketed |a_ij| magnitudes  [off]
 //   --rhs-ordering natural|postorder|hypergraph               [postorder]
 //   --block-size B            multi-RHS block size            [60]
 //   --drop-wg X / --drop-s X  dropping thresholds             [1e-6 / 1e-5]
@@ -146,6 +148,11 @@ int main(int argc, char** argv) {
       opt.partition_budget_ms = std::atof(next());
     } else if (arg == "--partition-min-quality") {
       opt.partition_min_quality = std::atof(next());
+    } else if (arg == "--partition-values") {
+      const std::string v = next();
+      if (!partition::value_mode_from_string(v, opt.partition_values)) {
+        usage("unknown --partition-values (off|abs|logabs)");
+      }
     } else if (arg == "--rhs-ordering") {
       const std::string v = next();
       if (v == "natural") opt.assembly.rhs_ordering = RhsOrdering::Natural;
